@@ -1,0 +1,97 @@
+// Ablation — scheduling policies (paper Figure 1 and §5): static CPU-only
+// (1a), static GPU-only (1b), whole-query hybrid placement like Ding et
+// al. [12] (1c: pick one processor per query from the first pair's ratio),
+// and Griffin's intra-query scheduling (1d) with both the ratio rule and the
+// cost-model extension.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/hybrid_engine.h"
+#include "util/stats.h"
+
+using namespace griffin;
+
+namespace {
+
+struct PolicyResult {
+  double mean_ms = 0;
+  double p95_ms = 0;
+};
+
+template <typename RunFn>
+PolicyResult run_policy(const std::vector<core::Query>& log, RunFn&& run) {
+  util::PercentileTracker ms;
+  for (const auto& q : log) ms.add(run(q));
+  return {ms.mean(), ms.percentile(95)};
+}
+
+}  // namespace
+
+int main() {
+  auto cfg = bench::paper_corpus_config();
+  cfg.num_docs = bench::fast_mode() ? 500'000 : 3'000'000;
+  cfg.num_terms = bench::fast_mode() ? 300 : 2'000;
+  std::fprintf(stderr, "[ablation_scheduling] building/loading corpus...\n");
+  const auto idx = bench::cached_corpus(cfg);
+
+  // A flatter term bias than the end-to-end log: mixes rare terms with
+  // frequent ones, so first-pair ratios span both sides of the crossover
+  // and the policies actually diverge.
+  auto qcfg = bench::paper_query_config(50, cfg);
+  qcfg.term_zipf_s = 0.85;
+  qcfg.topical_fraction = 0.6;
+  const auto log = workload::generate_query_log(qcfg, cfg.num_terms);
+
+  bench::print_header(
+      "Ablation: scheduling policies (Figure 1's four schemes)",
+      "intra-query (1d) beats whole-query hybrid (1c) and both statics");
+
+  cpu::CpuEngine cpu_engine(idx);
+  gpu::GpuEngine gpu_engine(idx);
+  core::HybridEngine griffin(idx);
+  core::HybridOptions cost_opt;
+  cost_opt.scheduler.policy = core::SchedulerPolicy::kCostModel;
+  core::HybridEngine griffin_cost(idx, {}, cost_opt);
+
+  const auto r_cpu = run_policy(log, [&](const core::Query& q) {
+    return cpu_engine.execute(q).metrics.total.ms();
+  });
+  const auto r_gpu = run_policy(log, [&](const core::Query& q) {
+    return gpu_engine.execute(q).metrics.total.ms();
+  });
+  // 1(c): whole-query placement by the first pair's ratio — no migration.
+  const auto r_whole = run_policy(log, [&](const core::Query& q) {
+    std::vector<index::TermId> terms(q.terms);
+    std::sort(terms.begin(), terms.end(),
+              [&](index::TermId a, index::TermId b) {
+                return idx.list(a).size() < idx.list(b).size();
+              });
+    double ratio = 1.0;
+    if (terms.size() >= 2) {
+      ratio = static_cast<double>(idx.list(terms[1]).size()) /
+              static_cast<double>(idx.list(terms[0]).size());
+    }
+    return ratio < 128.0 ? gpu_engine.execute(q).metrics.total.ms()
+                         : cpu_engine.execute(q).metrics.total.ms();
+  });
+  const auto r_griffin = run_policy(log, [&](const core::Query& q) {
+    return griffin.execute(q).metrics.total.ms();
+  });
+  const auto r_cost = run_policy(log, [&](const core::Query& q) {
+    return griffin_cost.execute(q).metrics.total.ms();
+  });
+
+  std::printf("%-28s %12s %12s\n", "policy", "mean (ms)", "p95 (ms)");
+  std::printf("%-28s %12.3f %12.3f\n", "CPU-only (1a)", r_cpu.mean_ms,
+              r_cpu.p95_ms);
+  std::printf("%-28s %12.3f %12.3f\n", "GPU-only (1b)", r_gpu.mean_ms,
+              r_gpu.p95_ms);
+  std::printf("%-28s %12.3f %12.3f\n", "whole-query hybrid (1c)",
+              r_whole.mean_ms, r_whole.p95_ms);
+  std::printf("%-28s %12.3f %12.3f\n", "Griffin ratio rule (1d)",
+              r_griffin.mean_ms, r_griffin.p95_ms);
+  std::printf("%-28s %12.3f %12.3f\n", "Griffin cost model (ext.)",
+              r_cost.mean_ms, r_cost.p95_ms);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation — the scheduler's crossover threshold. The paper argues the
+// threshold should equal the compression block size (128): above it, the
+// short list has fewer elements than the long list has blocks, so skippable
+// blocks must exist (Figure 9). This bench sweeps the threshold on a fixed
+// query log, and then shows the optimal threshold tracking the block size.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/hybrid_engine.h"
+#include "util/stats.h"
+
+using namespace griffin;
+
+namespace {
+
+double mean_latency_ms(const index::InvertedIndex& idx,
+                       const std::vector<core::Query>& log,
+                       double threshold) {
+  core::HybridOptions opt;
+  opt.scheduler.ratio_threshold = threshold;
+  core::HybridEngine engine(idx, {}, opt);
+  util::SummaryStats ms;
+  for (const auto& q : log) ms.add(engine.execute(q).metrics.total.ms());
+  return ms.mean();
+}
+
+}  // namespace
+
+int main() {
+  auto cfg = bench::paper_corpus_config();
+  // A moderate corpus keeps the sweep affordable; the threshold effect only
+  // needs ratios spanning the candidate thresholds.
+  cfg.num_docs = bench::fast_mode() ? 500'000 : 2'000'000;
+  cfg.num_terms = bench::fast_mode() ? 300 : 2'000;
+  std::fprintf(stderr, "[ablation_threshold] building/loading corpus...\n");
+  const auto idx = bench::cached_corpus(cfg);
+
+  auto qcfg = bench::paper_query_config(60, cfg);
+  const auto log = workload::generate_query_log(qcfg, cfg.num_terms);
+
+  bench::print_header(
+      "Ablation: scheduler crossover threshold sweep",
+      "paper picks 128 = block size via Figure 8 + the Figure 9 argument");
+
+  std::printf("%-12s %16s\n", "threshold", "mean latency(ms)");
+  double best = 1e30;
+  double best_thr = 0;
+  for (const double thr : {8.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 1e18}) {
+    const double ms = mean_latency_ms(idx, log, thr);
+    if (ms < best) {
+      best = ms;
+      best_thr = thr;
+    }
+    if (thr >= 1e18) {
+      std::printf("%-12s %16.3f   (= always GPU)\n", "inf", ms);
+    } else {
+      std::printf("%-12.0f %16.3f\n", thr, ms);
+    }
+  }
+  std::printf("(threshold 0 would be the CPU-only engine)\n");
+  std::printf("\nBest swept threshold: %.0f (paper's choice: 128)\n", best_thr);
+  return 0;
+}

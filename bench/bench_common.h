@@ -1,0 +1,107 @@
+// Shared utilities for the reproduction benches: the paper-testbed hardware
+// spec, corpus caching (indexes are built once and memoized on disk via
+// index/io.h), simple aligned table printing, and a scale knob.
+//
+// Environment:
+//   GRIFFIN_FAST=1         shrink workloads ~10x (smoke-test mode)
+//   GRIFFIN_CACHE_DIR=...  corpus cache directory (default /tmp/griffin_bench)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "index/io.h"
+#include "workload/corpus.h"
+#include "workload/querylog.h"
+
+namespace griffin::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("GRIFFIN_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Scales a workload size down in fast mode.
+inline std::uint64_t scaled(std::uint64_t n) {
+  return fast_mode() ? std::max<std::uint64_t>(n / 10, 1) : n;
+}
+
+inline std::string cache_dir() {
+  const char* v = std::getenv("GRIFFIN_CACHE_DIR");
+  std::string dir = v != nullptr ? v : "/tmp/griffin_bench";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Builds (or loads from cache) the corpus described by cfg. The cache key
+/// folds in every config field that affects the output.
+inline index::InvertedIndex cached_corpus(const workload::CorpusConfig& cfg) {
+  char key[256];
+  std::snprintf(key, sizeof(key), "corpus_%u_%u_%.3f_%.3f_%u_%u_%u_%llu.idx",
+                cfg.num_docs, cfg.num_terms, cfg.max_list_divisor, cfg.zipf_s,
+                cfg.min_list_size, static_cast<unsigned>(cfg.scheme),
+                cfg.block_size,
+                static_cast<unsigned long long>(cfg.seed));
+  const std::string path = cache_dir() + "/" + key;
+  if (std::filesystem::exists(path)) {
+    try {
+      return index::load_index(path);
+    } catch (const std::exception&) {
+      std::filesystem::remove(path);
+    }
+  }
+  auto idx = workload::generate_corpus(cfg);
+  try {
+    index::save_index(idx, path);
+  } catch (const std::exception&) {
+    // Cache misses are fine; the bench still runs.
+  }
+  return idx;
+}
+
+/// The corpus the end-to-end experiments (Figures 10/11/14/15) run on: the
+/// scaled-down ClueWeb12 stand-in (DESIGN.md §2).
+inline workload::CorpusConfig paper_corpus_config() {
+  workload::CorpusConfig cfg;
+  cfg.num_docs = fast_mode() ? 1'000'000 : 6'000'000;
+  cfg.num_terms = fast_mode() ? 1'000 : 8'000;
+  cfg.max_list_divisor = 3.0;
+  cfg.zipf_s = 0.75;
+  cfg.min_list_size = 512;
+  // Coarse topics put multi-million-entry lists inside every topic, so
+  // topical queries hit the heavy-list regime the paper's latencies reflect.
+  cfg.num_topics = 8;
+  cfg.topic_affinity = 0.45;
+  cfg.seed = 20260705;
+  return cfg;
+}
+
+inline workload::QueryLogConfig paper_query_config(
+    std::uint32_t n, const workload::CorpusConfig& corpus) {
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = static_cast<std::uint32_t>(scaled(n));
+  // Real query logs skew hard toward frequent terms (stopword-adjacent
+  // terms dominate TREC efficiency-track queries), which is what gives the
+  // paper its long CPU latencies on frequent-term queries; and most queries
+  // are topical, so their terms' lists genuinely overlap.
+  qcfg.term_zipf_s = 1.6;
+  qcfg.num_topics = corpus.num_topics;
+  qcfg.topical_fraction = 0.9;
+  qcfg.seed = 4242;
+  return qcfg;
+}
+
+// ---- Table printing ----
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_note);
+  std::printf("================================================================\n");
+}
+
+inline void print_row_labels(const char* a) { std::printf("%s\n", a); }
+
+}  // namespace griffin::bench

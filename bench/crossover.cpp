@@ -1,0 +1,121 @@
+// Figure 8 — the GPU/CPU crossover by list-length ratio. Pairs are grouped
+// by ratio ([1,16), [16,32), ..., [512,1024)) with the longer list in
+// [1M, 2M], exactly as §3.2 describes. For each pair we time one pairwise
+// intersection step the way each engine would run it:
+//   CPU: merge below the skip threshold, skip-pointer search above;
+//   GPU: Para-EF + MergePath below the path threshold (128), parallel
+//        binary search with selective block transfer at/above.
+// The paper's observation: GPU wins while ratio < ~128 (the block size),
+// CPU above — which is the rule Griffin's scheduler applies.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cpu/decode.h"
+#include "cpu/intersect.h"
+#include "gpu/binary_intersect.h"
+#include "gpu/ef_decode.h"
+#include "gpu/mergepath.h"
+#include "util/rng.h"
+
+using namespace griffin;
+
+namespace {
+
+const sim::HardwareSpec hw;
+const sim::GpuCostModel gpu_model(hw.gpu);
+const pcie::Link link_model(hw.pcie);
+
+/// CPU step time (the CpuEngine's per-step policy: skip_ratio 32).
+double cpu_step_ms(std::span<const index::DocId> shorter,
+                   const codec::BlockCompressedList& longer, double ratio) {
+  sim::CpuCostAccumulator acc(hw.cpu);
+  std::vector<index::DocId> out;
+  if (ratio >= 32.0) {
+    cpu::skip_intersect(shorter, longer, out, acc);
+  } else {
+    cpu::merge_intersect(shorter, longer, out, acc);
+  }
+  return acc.time().ms();
+}
+
+/// GPU step time, intermediate result already device-resident (the steady
+/// state of a query running on Griffin-GPU).
+double gpu_step_ms(std::span<const index::DocId> shorter,
+                   const codec::BlockCompressedList& longer, double ratio) {
+  simt::Device dev(hw.gpu, hw.pcie.device_mem_bytes);
+  pcie::TransferLedger led;
+  auto probes = dev.alloc<index::DocId>(shorter.size());
+  dev.upload(probes, shorter);  // intermediate already on device: no charge
+  sim::Duration total;
+  if (ratio < 128.0) {
+    pcie::TransferLedger l2;
+    gpu::DeviceList dl = gpu::upload_list(dev, longer, link_model, l2);
+    auto decoded = dev.alloc<index::DocId>(longer.size());
+    l2.add_alloc(link_model);
+    total += gpu_model.kernel_time(
+        gpu::ef_decode_range(dev, dl, 0, dl.num_blocks(), decoded));
+    auto r = gpu::mergepath_intersect(dev, probes, shorter.size(), decoded,
+                                      longer.size(), link_model, l2);
+    total += gpu_model.kernel_time(r.stats) + l2.total;
+  } else {
+    pcie::TransferLedger l2;
+    gpu::DeviceList dl = gpu::upload_list(dev, longer, link_model, l2, true);
+    auto r = gpu::binary_search_intersect(dev, probes, shorter.size(), dl,
+                                          link_model, l2, true);
+    total += gpu_model.kernel_time(r.stats) + l2.total;
+  }
+  return total.ms();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 8: GPU/CPU Cross-Over Point by List-Length Ratio",
+      "GPU faster while ratio < ~128 (the block size); CPU above");
+
+  util::Xoshiro256 rng(808);
+  const int pairs_per_group = bench::fast_mode() ? 1 : 3;
+  const std::uint64_t longer_size = bench::fast_mode() ? 400'000 : 1'500'000;
+
+  struct Group {
+    double lo, hi;
+  };
+  const std::vector<Group> groups{{1, 16},   {16, 32},   {32, 64},
+                                  {64, 128}, {128, 256}, {256, 512},
+                                  {512, 1024}};
+
+  std::printf("%-12s %12s %12s %10s\n", "ratio group", "CPU (ms)", "GPU (ms)",
+              "winner");
+  int crossover_group = -1;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const double mid = std::sqrt(groups[gi].lo * groups[gi].hi);
+    double cpu_ms = 0.0, gpu_ms = 0.0;
+    for (int p = 0; p < pairs_per_group; ++p) {
+      const auto pair = workload::make_pair_with_ratio(
+          longer_size, mid, 48'000'000, 0.4, rng);
+      const auto longer = codec::BlockCompressedList::build(
+          pair.longer, codec::Scheme::kEliasFano);
+      const double ratio = static_cast<double>(pair.longer.size()) /
+                           static_cast<double>(pair.shorter.size());
+      cpu_ms += cpu_step_ms(pair.shorter, longer, ratio);
+      gpu_ms += gpu_step_ms(pair.shorter, longer, ratio);
+    }
+    cpu_ms /= pairs_per_group;
+    gpu_ms /= pairs_per_group;
+    const bool cpu_wins = cpu_ms < gpu_ms;
+    if (cpu_wins && crossover_group < 0) {
+      crossover_group = static_cast<int>(gi);
+    }
+    std::printf("[%4.0f,%4.0f) %12.3f %12.3f %10s\n", groups[gi].lo,
+                groups[gi].hi, cpu_ms, gpu_ms, cpu_wins ? "CPU" : "GPU");
+  }
+  if (crossover_group >= 0) {
+    std::printf("\nMeasured crossover enters group [%.0f,%.0f) — paper: 128.\n",
+                groups[crossover_group].lo, groups[crossover_group].hi);
+  } else {
+    std::printf("\nNo crossover within the swept ratios.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 12 — decompression speed: CPU PForDelta (sequential decode of the
+// whole list) vs Griffin-GPU Para-EF, grouped by list size 1K..10M. The
+// paper reports speedups below 2 for short lists rising to ~29.6x at 10M:
+// long lists saturate the GPU and amortize transfer/launch overheads. Times
+// are simulated (sim::HardwareSpec paper testbed); the GPU column includes
+// one device allocation, the payload transfer, and the kernel launch per
+// list — the costs §2.3 says dominate until lists grow long.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cpu/decode.h"
+#include "gpu/ef_decode.h"
+#include "util/rng.h"
+
+using namespace griffin;
+
+int main() {
+  bench::print_header(
+      "Figure 12: Decompression Speed Comparison (CPU PFor vs Para-EF)",
+      "speedup <2 at 1K-10K rising to ~29.6x at 10M");
+
+  const sim::HardwareSpec hw;
+  const sim::GpuCostModel gpu_model(hw.gpu);
+  const pcie::Link link(hw.pcie);
+  util::Xoshiro256 rng(123);
+
+  std::printf("%-10s %14s %14s %10s\n", "list size", "CPU PFor (ms)",
+              "GPU ParaEF(ms)", "speedup");
+
+  std::vector<std::uint64_t> sizes{1'000, 10'000, 100'000, 1'000'000,
+                                   10'000'000};
+  if (bench::fast_mode()) sizes.pop_back();
+  for (const std::uint64_t n : sizes) {
+    const int reps = n <= 100'000 ? 3 : 1;
+    double cpu_ms = 0.0, gpu_ms = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      // Density 1/32 — the typical mid-frequency web term.
+      const auto universe = static_cast<index::DocId>(
+          std::min<std::uint64_t>(n * 32ull, 0xFFFFFFF0ull));
+      const auto docs = workload::make_uniform_list(n, universe, rng);
+
+      // CPU: PForDelta full decompression.
+      const auto pf =
+          codec::BlockCompressedList::build(docs, codec::Scheme::kPForDelta);
+      sim::CpuCostAccumulator acc(hw.cpu);
+      std::vector<index::DocId> out;
+      cpu::decode_all(pf, out, acc);
+      cpu_ms += acc.time().ms();
+
+      // GPU: Para-EF. Payload transfer + decode kernel.
+      const auto ef =
+          codec::BlockCompressedList::build(docs, codec::Scheme::kEliasFano);
+      simt::Device dev(hw.gpu, hw.pcie.device_mem_bytes);
+      pcie::TransferLedger ledger;
+      gpu::DeviceList dlist = gpu::upload_list(dev, ef, link, ledger);
+      auto dout = dev.alloc<index::DocId>(ef.size());
+      const auto stats =
+          gpu::ef_decode_range(dev, dlist, 0, dlist.num_blocks(), dout);
+      const sim::Duration gpu_time = link.alloc_time() +
+                                     link.transfer_time(ef.blob().size() * 8) +
+                                     gpu_model.kernel_time(stats);
+      gpu_ms += gpu_time.ms();
+      (void)ledger;
+    }
+    cpu_ms /= reps;
+    gpu_ms /= reps;
+    std::printf("%-10llu %14.3f %14.3f %9.1fx\n",
+                static_cast<unsigned long long>(n), cpu_ms, gpu_ms,
+                cpu_ms / gpu_ms);
+  }
+  return 0;
+}

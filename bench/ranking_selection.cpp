@@ -1,0 +1,82 @@
+// Figure 7 — ranking selection: CPU std::partial_sort vs GPU bucketSelect vs
+// GPU radixSort over candidate result lists of 1K..10M entries (k = 10).
+// The paper's finding — which Griffin adopts — is that the CPU wins at the
+// result-set sizes real queries produce, because tiny inputs cannot amortize
+// GPU launch, allocation and transfer overheads. GPU columns include the
+// score-list upload and all kernels/round trips.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cpu/bm25.h"
+#include "gpu/sort.h"
+#include "util/rng.h"
+
+using namespace griffin;
+
+int main() {
+  bench::print_header(
+      "Figure 7: Ranking Performance Comparison (top-10 selection)",
+      "CPU partial_sort best at realistic result counts; GPU only catches up "
+      "in the millions");
+
+  const sim::HardwareSpec hw;
+  const sim::GpuCostModel gpu_model(hw.gpu);
+  const pcie::Link link(hw.pcie);
+  util::Xoshiro256 rng(777);
+
+  std::printf("%-10s %14s %18s %16s\n", "list size", "CPU psort (ms)",
+              "GPU bucketSel (ms)", "GPU radix (ms)");
+
+  std::vector<std::uint64_t> sizes{1'000, 10'000, 100'000, 1'000'000,
+                                   10'000'000};
+  if (bench::fast_mode()) sizes.pop_back();
+  for (const std::uint64_t n : sizes) {
+    // Candidate scores.
+    std::vector<core::ScoredDoc> scored(n);
+    std::vector<gpu::DevScored> dev_scored(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const float s = static_cast<float>(rng.uniform01() * 40.0);
+      scored[i] = {static_cast<index::DocId>(i), s};
+      dev_scored[i] = {gpu::float_to_key(s), static_cast<std::uint32_t>(i)};
+    }
+
+    // CPU partial_sort.
+    sim::CpuCostAccumulator acc(hw.cpu);
+    auto copy = scored;
+    cpu::top_k(copy, 10, acc);
+    const double cpu_ms = acc.time().ms();
+
+    // GPU bucketSelect: upload + kernels + round trips.
+    double bucket_ms, radix_ms;
+    {
+      simt::Device dev(hw.gpu, hw.pcie.device_mem_bytes);
+      pcie::TransferLedger ledger;
+      auto buf = dev.alloc<gpu::DevScored>(n);
+      ledger.add_alloc(link);
+      dev.upload(buf, std::span<const gpu::DevScored>(dev_scored));
+      ledger.add_transfer(link, n * sizeof(gpu::DevScored), true);
+      const auto r = gpu::bucket_select_topk(dev, buf, n, 10, link, ledger);
+      bucket_ms = (ledger.total + gpu_model.kernel_time(r.stats)).ms();
+    }
+    {
+      simt::Device dev(hw.gpu, hw.pcie.device_mem_bytes);
+      pcie::TransferLedger ledger;
+      auto buf = dev.alloc<gpu::DevScored>(n);
+      ledger.add_alloc(link);
+      dev.upload(buf, std::span<const gpu::DevScored>(dev_scored));
+      ledger.add_transfer(link, n * sizeof(gpu::DevScored), true);
+      const auto r = gpu::radix_sort_topk(dev, buf, n, 10, link, ledger);
+      radix_ms = (ledger.total + gpu_model.kernel_time(r.stats)).ms();
+    }
+
+    std::printf("%-10llu %14.3f %18.3f %16.3f\n",
+                static_cast<unsigned long long>(n), cpu_ms, bucket_ms,
+                radix_ms);
+  }
+  std::printf(
+      "\nNote: real conjunctive queries rarely match more than a few\n"
+      "thousand documents (paper §3.1.3), where the CPU rank wins outright —\n"
+      "Griffin therefore always ranks on the CPU.\n");
+  return 0;
+}

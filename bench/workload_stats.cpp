@@ -1,0 +1,61 @@
+// Figures 10 & 11 — benchmark characterization: the inverted-list size CDF
+// of the corpus and the query term-count distribution of the log. These are
+// the two properties of the real benchmark (ClueWeb12 + TREC'05/06) that the
+// synthetic workload reproduces; every other experiment runs on top of them.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+using namespace griffin;
+
+int main() {
+  const auto cfg = bench::paper_corpus_config();
+
+  bench::print_header(
+      "Figure 10: Inverted List Size Distribution (CDF)",
+      "lists involved in the experiments: mostly 1K-1M, tail to 26M");
+
+  // The paper plots the lists *involved in the experiments*, i.e. the lists
+  // the query log touches — which skews toward frequent terms.
+  auto qcfg10 = bench::paper_query_config(10'000, cfg);
+  const auto log10 = workload::generate_query_log(qcfg10, cfg.num_terms);
+  util::LogHistogram hist(1e3, 3e7, 10.0);
+  for (const auto& q : log10) {
+    for (const auto t : q.terms) {
+      hist.add(static_cast<double>(workload::list_size_for_rank(cfg, t + 1)));
+    }
+  }
+  std::printf("%-14s %10s %8s\n", "list size <", "lists", "CDF");
+  for (std::size_t b = 0; b < hist.bucket_count(); ++b) {
+    const double hi = b + 1 < hist.bucket_count()
+                          ? hist.bucket_lo(b + 1)
+                          : 1e30;
+    std::printf("%-14.0f %10llu %7.1f%%\n", hi == 1e30 ? 3e7 : hi,
+                static_cast<unsigned long long>(hist.count(b)),
+                100.0 * hist.cdf(b));
+  }
+
+  bench::print_header(
+      "Figure 11: Number of Terms Distribution",
+      "~27% 2-term, ~33% 3-term, ~24% 4-term, tail past 6 (TREC logs)");
+
+  auto qcfg = bench::paper_query_config(10'000, cfg);
+  const auto log = workload::generate_query_log(qcfg, cfg.num_terms);
+  std::map<std::size_t, int> counts;
+  for (const auto& q : log) ++counts[q.terms.size()];
+  std::printf("%-10s %10s %10s\n", "#terms", "queries", "fraction");
+  int more_than_6 = 0;
+  for (const auto& [n, c] : counts) {
+    if (n > 6) {
+      more_than_6 += c;
+      continue;
+    }
+    std::printf("%-10zu %10d %9.1f%%\n", n, c,
+                100.0 * c / static_cast<double>(log.size()));
+  }
+  std::printf("%-10s %10d %9.1f%%\n", ">6", more_than_6,
+              100.0 * more_than_6 / static_cast<double>(log.size()));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Block-partitioned compressed posting lists with skip pointers (paper
+// Figure 2). DocIDs are split into fixed-size blocks (128 by default — the
+// constant behind the paper's ratio-128 crossover analysis, §3.2); each block
+// is compressed independently, and a skip table stores every block's first
+// and last docID plus its offset, so intersections can locate and decompress
+// only the blocks that can possibly contain matches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/eliasfano.h"
+#include "codec/pfordelta.h"
+
+namespace griffin::codec {
+
+using DocId = std::uint32_t;
+
+enum class Scheme : std::uint8_t {
+  kPForDelta,
+  kEliasFano,
+  kVarByte,
+  kSimple16,  ///< d-gaps must fit in 28 bits (docID spaces < 2^28)
+};
+
+std::string scheme_name(Scheme s);
+
+inline constexpr std::uint32_t kDefaultBlockSize = 128;
+
+/// Skip-table entry: one per block. Carries the per-scheme headers inline so
+/// a block is decodable from (meta, blob) alone — which is exactly what the
+/// GPU kernels receive.
+struct BlockMeta {
+  DocId first = 0;            ///< first docID in the block
+  DocId last = 0;             ///< last docID in the block
+  std::uint64_t bit_offset = 0;  ///< payload position in the blob
+  std::uint16_t count = 0;    ///< postings in the block
+  PForHeader pfor;            ///< valid when scheme == kPForDelta
+  EFHeader ef;                ///< valid when scheme == kEliasFano
+};
+
+class BlockCompressedList {
+ public:
+  BlockCompressedList() = default;
+
+  /// Compresses a strictly increasing docID sequence. pfor_forced_b pins the
+  /// PForDelta slot width (0 = automatic 90%-coverage rule); it exposes the
+  /// compression-ratio-vs-decode-speed trade-off of §2.3 for the ablations.
+  static BlockCompressedList build(std::span<const DocId> docids, Scheme scheme,
+                                   std::uint32_t block_size = kDefaultBlockSize,
+                                   std::uint8_t pfor_forced_b = 0);
+
+  /// Reassembles a list from previously serialized parts (index/io.h).
+  static BlockCompressedList from_parts(Scheme scheme, std::uint32_t block_size,
+                                        std::uint64_t size,
+                                        std::vector<std::uint64_t> blob,
+                                        std::vector<BlockMeta> metas);
+
+  std::uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint32_t block_size() const { return block_size_; }
+  std::size_t num_blocks() const { return metas_.size(); }
+  Scheme scheme() const { return scheme_; }
+
+  std::span<const std::uint64_t> blob() const { return blob_; }
+  std::span<const BlockMeta> metas() const { return metas_; }
+  const BlockMeta& meta(std::size_t b) const { return metas_[b]; }
+
+  DocId first_docid() const { return metas_.front().first; }
+  DocId last_docid() const { return metas_.back().last; }
+
+  /// Decodes block b into out (room for block_size() values); returns count.
+  std::uint32_t decode_block(std::size_t b, DocId* out) const;
+
+  /// Decodes the whole list.
+  void decode_all(std::vector<DocId>& out) const;
+
+  /// Smallest block index whose last docID is >= target (binary search over
+  /// the skip table); num_blocks() if no such block.
+  std::size_t find_block(DocId target) const;
+
+  /// Compressed footprint including the skip table (what the compression-
+  /// ratio experiment, Table 1, measures).
+  std::uint64_t compressed_bytes() const;
+  double bits_per_posting() const {
+    return size_ == 0 ? 0.0
+                      : 8.0 * static_cast<double>(compressed_bytes()) /
+                            static_cast<double>(size_);
+  }
+
+ private:
+  Scheme scheme_ = Scheme::kPForDelta;
+  std::uint32_t block_size_ = kDefaultBlockSize;
+  std::uint64_t size_ = 0;
+  std::vector<std::uint64_t> blob_;
+  std::vector<BlockMeta> metas_;
+};
+
+}  // namespace griffin::codec

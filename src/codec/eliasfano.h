@@ -1,0 +1,44 @@
+// Elias-Fano encoding of monotone (non-decreasing) integer sequences, after
+// Elias [13] / Vigna's quasi-succinct indices [30] and the paper's Figure 4.
+//
+// For n values bounded by universe U, each value v splits into
+//   low  = v & ((1<<b)-1)  with b = floor(log2(U/n))   (fixed width), and
+//   high = v >> b.
+// The low bits are packed contiguously; the highs are stored as a unary-coded
+// bit vector where the i-th set bit sits at position high_i + i — so the
+// vector has exactly n ones and at most (U>>b)+n+1 bits total (~2 bits/elem
+// on top of the b low bits).
+//
+// The high-bits vector is stored as 32-bit words because the GPU Para-EF
+// kernel (paper Algorithm 1) popcounts and prefix-sums those words.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace griffin::codec {
+
+struct EFHeader {
+  std::uint8_t b = 0;          ///< low bits per element
+  std::uint32_t hb_words = 0;  ///< 32-bit words in the high-bits vector
+};
+
+/// Low-bit width for n values with universe U (Figure 4: b = floor(log2 U/n)).
+std::uint8_t ef_low_bits(std::uint64_t universe, std::uint64_t n);
+
+/// Encodes the non-decreasing `values` (each <= universe) starting at bit
+/// `bit_pos` of `blob`; bit_pos is advanced. Layout: high-bits vector (padded
+/// to whole 32-bit words), then the packed low bits.
+EFHeader ef_encode(std::span<const std::uint32_t> values,
+                   std::uint32_t universe, std::vector<std::uint64_t>& blob,
+                   std::uint64_t& bit_pos);
+
+/// Sequential decode of `count` values encoded at bit_pos with `hdr`.
+void ef_decode(std::span<const std::uint64_t> blob, std::uint64_t bit_pos,
+               std::uint32_t count, const EFHeader& hdr, std::uint32_t* out);
+
+/// Exact bit count ef_encode will consume.
+std::uint64_t ef_encoded_bits(std::uint32_t universe, std::uint64_t n);
+
+}  // namespace griffin::codec

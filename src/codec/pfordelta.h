@@ -1,0 +1,56 @@
+// PForDelta ("patched frame of reference") compression of small integers,
+// following the paper's Figure 3 / Zukowski et al. [40]:
+//   - pick b so that ~90% of the values ("regulars") fit in b bits;
+//   - pack every value into a b-bit slot; a slot whose value does not fit
+//     becomes an *exception*: the slot instead stores the distance to the
+//     next exception (a linked list threaded through the slots), and the
+//     true value is appended uncompressed after the packed array;
+//   - the header remembers where the first exception sits.
+// Decompression must walk the exception chain sequentially — precisely the
+// data dependence that makes PForDelta a poor fit for the GPU (paper §2.3),
+// which bench/ablation_pfor_gpu demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace griffin::codec {
+
+struct PForHeader {
+  std::uint8_t b = 1;                   ///< bits per packed slot
+  std::uint16_t n_exceptions = 0;
+  std::uint16_t first_exception = kNoException;  ///< slot index of chain head
+
+  static constexpr std::uint16_t kNoException = 0xFFFF;
+};
+
+/// Fraction of values that must fit in b bits when choosing b.
+inline constexpr double kPForRegularFraction = 0.90;
+
+/// Encodes `values` starting at bit `bit_pos` of `blob` (blob grows as
+/// needed; bits at and beyond bit_pos must be zero). Advances bit_pos past
+/// the packed slots and the 32-bit-aligned exception values.
+/// forced_b = 0 picks b automatically (the 90%-coverage rule); a nonzero
+/// forced_b pins the slot width — smaller b compresses harder but produces
+/// more exceptions, the speed/ratio trade-off of §2.3.
+PForHeader pfor_encode(std::span<const std::uint32_t> values,
+                       std::vector<std::uint64_t>& blob, std::uint64_t& bit_pos,
+                       std::uint8_t forced_b = 0);
+
+/// Decodes `count` values previously encoded at bit_pos with `hdr`.
+/// `out` must have room for count values.
+void pfor_decode(std::span<const std::uint64_t> blob, std::uint64_t bit_pos,
+                 std::uint32_t count, const PForHeader& hdr,
+                 std::uint32_t* out);
+
+/// Number of bits pfor_encode will consume for this input (exact).
+std::uint64_t pfor_encoded_bits(std::span<const std::uint32_t> values,
+                                std::uint8_t forced_b = 0);
+
+/// Chooses the slot width for a value set: the smallest b such that at least
+/// kPForRegularFraction of values fit, clamped to [1, 32]. Exposed for tests
+/// and for the decode-cost models.
+std::uint8_t pfor_choose_b(std::span<const std::uint32_t> values);
+
+}  // namespace griffin::codec

@@ -1,0 +1,124 @@
+#include "codec/simple16.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace griffin::codec {
+
+namespace {
+
+struct Slot {
+  std::uint8_t count;
+  std::uint8_t bits;
+};
+
+/// The 16 layouts: runs of (count x bits) summing to <= 28 bits. This is a
+/// standard Simple16 table variant; layouts are tried in decreasing slot
+/// count so the densest applicable packing wins.
+struct Mode {
+  std::array<Slot, 3> runs;
+  std::uint8_t total;  // slots
+};
+
+constexpr std::array<Mode, kSimple16Modes> kModes{{
+    {{{{28, 1}, {0, 0}, {0, 0}}}, 28},
+    {{{{7, 2}, {14, 1}, {0, 0}}}, 21},
+    {{{{14, 1}, {7, 2}, {0, 0}}}, 21},
+    {{{{14, 2}, {0, 0}, {0, 0}}}, 14},
+    {{{{9, 3}, {0, 0}, {0, 0}}}, 9},
+    {{{{2, 5}, {6, 3}, {0, 0}}}, 8},
+    {{{{6, 3}, {2, 5}, {0, 0}}}, 8},
+    {{{{7, 4}, {0, 0}, {0, 0}}}, 7},
+    {{{{1, 10}, {6, 3}, {0, 0}}}, 7},
+    {{{{5, 5}, {0, 0}, {0, 0}}}, 5},
+    {{{{4, 7}, {0, 0}, {0, 0}}}, 4},
+    {{{{1, 14}, {2, 7}, {0, 0}}}, 3},
+    {{{{2, 7}, {1, 14}, {0, 0}}}, 3},
+    {{{{3, 9}, {0, 0}, {0, 0}}}, 3},
+    {{{{2, 14}, {0, 0}, {0, 0}}}, 2},
+    {{{{1, 28}, {0, 0}, {0, 0}}}, 1},
+}};
+
+std::uint8_t slot_bits(const Mode& m, int slot) {
+  int s = slot;
+  for (const Slot& run : m.runs) {
+    if (run.count == 0) break;
+    if (s < run.count) return run.bits;
+    s -= run.count;
+  }
+  return 0;
+}
+
+/// Can the next `avail` values starting at p be packed with mode m?
+bool mode_fits(const Mode& m, std::span<const std::uint32_t> values,
+               std::size_t p) {
+  const std::size_t avail = values.size() - p;
+  const std::size_t n = std::min<std::size_t>(m.total, avail);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t bits = slot_bits(m, static_cast<int>(i));
+    if (bits < 32 && values[p + i] >= (1u << bits)) return false;
+  }
+  return true;
+}
+
+std::uint32_t pack_word(int mode_idx, const Mode& m,
+                        std::span<const std::uint32_t> values, std::size_t p,
+                        std::size_t n) {
+  std::uint32_t word = static_cast<std::uint32_t>(mode_idx) << 28;
+  int shift = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t bits = slot_bits(m, static_cast<int>(i));
+    word |= values[p + i] << shift;
+    shift += bits;
+  }
+  return word;
+}
+
+}  // namespace
+
+std::size_t simple16_encode(std::span<const std::uint32_t> values,
+                            std::vector<std::uint32_t>& out) {
+  const std::size_t start = out.size();
+  std::size_t p = 0;
+  while (p < values.size()) {
+    bool packed = false;
+    for (int mi = 0; mi < kSimple16Modes; ++mi) {
+      const Mode& m = kModes[mi];
+      if (!mode_fits(m, values, p)) continue;
+      const std::size_t n =
+          std::min<std::size_t>(m.total, values.size() - p);
+      out.push_back(pack_word(mi, m, values, p, n));
+      p += n;
+      packed = true;
+      break;
+    }
+    if (!packed) {
+      throw std::invalid_argument("simple16: value exceeds 28 bits");
+    }
+  }
+  return out.size() - start;
+}
+
+std::size_t simple16_decode(std::span<const std::uint32_t> words,
+                            std::uint32_t count, std::uint32_t* out) {
+  std::size_t w = 0;
+  std::uint32_t produced = 0;
+  while (produced < count) {
+    const std::uint32_t word = words[w++];
+    const Mode& m = kModes[word >> 28];
+    int shift = 0;
+    for (int i = 0; i < m.total && produced < count; ++i) {
+      const std::uint8_t bits = slot_bits(m, i);
+      out[produced++] = (word >> shift) & ((1u << bits) - 1u);
+      shift += bits;
+    }
+  }
+  return w;
+}
+
+std::size_t simple16_encoded_words(std::span<const std::uint32_t> values) {
+  std::vector<std::uint32_t> scratch;
+  return simple16_encode(values, scratch);
+}
+
+}  // namespace griffin::codec

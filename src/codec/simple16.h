@@ -1,0 +1,30 @@
+// Simple16 coding (Zhang, Long & Suel [38]; Yan, Ding & Suel [37]): each
+// 32-bit word packs a 4-bit selector plus 28 data bits holding between 1
+// and 28 small integers in one of 16 fixed layouts. A classic CPU posting
+// codec of the paper's era, included as an extra baseline for the
+// compression-ratio table and the codec microbenches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace griffin::codec {
+
+/// Number of Simple16 layouts.
+inline constexpr int kSimple16Modes = 16;
+
+/// Encodes `values` (each < 2^28) into 32-bit words appended to `out`.
+/// Returns the number of words written. Throws std::invalid_argument if a
+/// value does not fit in 28 bits.
+std::size_t simple16_encode(std::span<const std::uint32_t> values,
+                            std::vector<std::uint32_t>& out);
+
+/// Decodes exactly `count` values from `words`; returns words consumed.
+std::size_t simple16_decode(std::span<const std::uint32_t> words,
+                            std::uint32_t count, std::uint32_t* out);
+
+/// Exact encoded size in words.
+std::size_t simple16_encoded_words(std::span<const std::uint32_t> values);
+
+}  // namespace griffin::codec

@@ -1,0 +1,30 @@
+#include "codec/varbyte.h"
+
+namespace griffin::codec {
+
+std::vector<std::uint8_t> vbyte_encode(std::span<const std::uint32_t> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size());
+  for (std::uint32_t v : values) vbyte_encode_one(v, out);
+  return out;
+}
+
+void vbyte_decode(std::span<const std::uint8_t> in, std::uint32_t count,
+                  std::uint32_t* out) {
+  std::size_t pos = 0;
+  for (std::uint32_t i = 0; i < count; ++i) out[i] = vbyte_decode_one(in, pos);
+}
+
+std::uint64_t vbyte_encoded_bytes(std::span<const std::uint32_t> values) {
+  std::uint64_t bytes = 0;
+  for (std::uint32_t v : values) {
+    bytes += 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++bytes;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace griffin::codec

@@ -1,0 +1,50 @@
+// Variable-byte (VByte) coding: 7 data bits per byte, MSB is the
+// continuation flag. The simplest widely deployed posting-list codec; kept
+// as a baseline codec for the compression-ratio comparison and as the
+// term-frequency side channel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace griffin::codec {
+
+/// Appends the encoding of v to out; returns bytes written (1..5).
+inline std::uint32_t vbyte_encode_one(std::uint32_t v,
+                                      std::vector<std::uint8_t>& out) {
+  std::uint32_t n = 0;
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+    ++n;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+  return n + 1;
+}
+
+/// Decodes one value at `in + pos`; advances pos.
+inline std::uint32_t vbyte_decode_one(std::span<const std::uint8_t> in,
+                                      std::size_t& pos) {
+  std::uint32_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t byte = in[pos++];
+    v |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+/// Encodes all values; returns the byte stream.
+std::vector<std::uint8_t> vbyte_encode(std::span<const std::uint32_t> values);
+
+/// Decodes exactly `count` values from the stream into out.
+void vbyte_decode(std::span<const std::uint8_t> in, std::uint32_t count,
+                  std::uint32_t* out);
+
+/// Exact encoded size in bytes.
+std::uint64_t vbyte_encoded_bytes(std::span<const std::uint32_t> values);
+
+}  // namespace griffin::codec

@@ -1,0 +1,125 @@
+#include "core/hybrid_engine.h"
+
+#include <algorithm>
+
+#include "cpu/decode.h"
+#include "cpu/intersect.h"
+
+namespace griffin::core {
+
+StepShape HybridEngine::shape_for(std::uint64_t shorter,
+                                  index::TermId longer_term,
+                                  std::optional<Placement> loc) const {
+  StepShape s;
+  s.shorter = shorter;
+  s.longer = idx_->list(longer_term).size();
+  s.longer_bytes = idx_->list(longer_term).docids.compressed_bytes();
+  s.current_location = loc;
+  return s;
+}
+
+QueryResult HybridEngine::execute(const Query& q) {
+  QueryResult res;
+  QueryMetrics& m = res.metrics;
+  if (q.terms.empty()) return res;
+
+  std::vector<index::TermId> terms(q.terms);
+  std::sort(terms.begin(), terms.end(),
+            [&](index::TermId a, index::TermId b) {
+              return idx_->list(a).size() < idx_->list(b).size();
+            });
+
+  std::vector<codec::DocId> host_current;  // valid when on_cpu
+  bool on_gpu = false;
+  exec_.begin_query();
+
+  auto cpu_step_first = [&](index::TermId a, index::TermId b) {
+    const auto& l0 = idx_->list(a).docids;
+    const auto& l1 = idx_->list(b).docids;
+    sim::CpuCostAccumulator acc(hw_.cpu);
+    const double ratio =
+        static_cast<double>(l1.size()) / static_cast<double>(l0.size());
+    if (ratio >= opt_.cpu.skip_ratio) {
+      std::vector<codec::DocId> probes;
+      cpu::decode_all(l0, probes, acc);
+      cpu::skip_intersect(probes, l1, host_current, acc,
+                          opt_.cpu.ef_random_access);
+    } else {
+      cpu::merge_intersect(l0, l1, host_current, acc);
+    }
+    m.add_stage(acc.time(), &m.intersect);
+    m.placements.push_back(Placement::kCpu);
+  };
+
+  auto cpu_step_next = [&](index::TermId t) {
+    const auto& lt = idx_->list(t).docids;
+    sim::CpuCostAccumulator acc(hw_.cpu);
+    std::vector<codec::DocId> next;
+    const double ratio = static_cast<double>(lt.size()) /
+                         static_cast<double>(host_current.size());
+    if (ratio >= opt_.cpu.skip_ratio) {
+      cpu::skip_intersect(host_current, lt, next, acc,
+                          opt_.cpu.ef_random_access);
+    } else {
+      cpu::merge_intersect(host_current, lt, next, acc);
+    }
+    host_current.swap(next);
+    m.add_stage(acc.time(), &m.intersect);
+    m.placements.push_back(Placement::kCpu);
+  };
+
+  if (terms.size() == 1) {
+    sim::CpuCostAccumulator acc(hw_.cpu);
+    cpu::decode_all(idx_->list(terms[0]).docids, host_current, acc);
+    m.add_stage(acc.time(), &m.decode);
+  } else {
+    // First pair: no intermediate yet, decide on the raw list lengths.
+    const StepShape first =
+        shape_for(idx_->list(terms[0]).size(), terms[1], std::nullopt);
+    if (sched_.decide(first) == Placement::kGpu) {
+      exec_.intersect_first(terms[0], terms[1], m);
+      on_gpu = true;
+    } else {
+      cpu_step_first(terms[0], terms[1]);
+    }
+
+    for (std::size_t i = 2; i < terms.size(); ++i) {
+      const std::uint64_t count =
+          on_gpu ? exec_.intermediate_count() : host_current.size();
+      if (count == 0) break;
+      const StepShape s = shape_for(
+          count, terms[i], on_gpu ? Placement::kGpu : Placement::kCpu);
+      const Placement p = sched_.decide(s);
+      if (p == Placement::kGpu) {
+        if (!on_gpu) {
+          exec_.upload_intermediate(host_current, m);
+          ++m.migrations;
+          on_gpu = true;
+        }
+        exec_.intersect_next(terms[i], m);
+      } else {
+        if (on_gpu) {
+          host_current = exec_.download_intermediate(m);
+          ++m.migrations;
+          on_gpu = false;
+        }
+        cpu_step_next(terms[i]);
+      }
+    }
+  }
+
+  if (on_gpu) {
+    host_current = exec_.download_intermediate(m);
+    on_gpu = false;
+  }
+  exec_.begin_query();  // release device buffers
+  m.result_count = host_current.size();
+
+  sim::CpuCostAccumulator rank(hw_.cpu);
+  scorer_.score(terms, host_current, res.topk, rank);
+  cpu::top_k(res.topk, q.k, rank);
+  m.add_stage(rank.time(), &m.rank);
+  return res;
+}
+
+}  // namespace griffin::core

@@ -1,0 +1,51 @@
+// Griffin: the hybrid engine (paper Figure 1(d), §3.2). A query starts on
+// the processor the scheduler picks for its two shortest lists; after every
+// pairwise intersection the scheduler re-evaluates with the shrunken
+// intermediate result, and execution migrates (GPU -> CPU, paying the PCIe
+// transfer) when the characteristics flip. Ranking always runs on the CPU.
+#pragma once
+
+#include <vector>
+
+#include "core/query.h"
+#include "core/scheduler.h"
+#include "cpu/engine.h"
+#include "gpu/engine.h"
+
+namespace griffin::core {
+
+struct HybridOptions {
+  SchedulerOptions scheduler;
+  gpu::GpuOptions gpu;
+  cpu::CpuEngineOptions cpu;
+};
+
+class HybridEngine : public Engine {
+ public:
+  HybridEngine(const index::InvertedIndex& idx, sim::HardwareSpec hw = {},
+               HybridOptions opt = {})
+      : idx_(&idx),
+        hw_(hw),
+        opt_(opt),
+        sched_(opt.scheduler, hw),
+        exec_(idx, hw, opt.gpu),
+        scorer_(idx, opt.cpu.bm25) {}
+
+  QueryResult execute(const Query& q) override;
+  std::string name() const override { return "griffin"; }
+
+  const Scheduler& scheduler() const { return sched_; }
+
+ private:
+  StepShape shape_for(std::uint64_t shorter, index::TermId longer_term,
+                      std::optional<Placement> loc) const;
+
+  const index::InvertedIndex* idx_;
+  sim::HardwareSpec hw_;
+  HybridOptions opt_;
+  Scheduler sched_;
+  gpu::GpuExecutor exec_;
+  cpu::Bm25Scorer scorer_;
+};
+
+}  // namespace griffin::core

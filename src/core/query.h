@@ -1,0 +1,61 @@
+// Query types and the engine interface shared by the CPU engine, Griffin-GPU
+// and the hybrid Griffin engine. Kept dependency-light so the concrete
+// engines can implement it without cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "sim/time.h"
+
+namespace griffin::core {
+
+/// A conjunctive (AND) query: documents must contain every term.
+struct Query {
+  std::vector<index::TermId> terms;
+  std::uint32_t k = 10;  ///< results to return
+  std::uint64_t id = 0;  ///< caller-assigned id (trace position)
+};
+
+struct ScoredDoc {
+  index::DocId doc = 0;
+  float score = 0.0f;
+};
+
+/// Where one intersection step ran — the scheduler's decision trail.
+enum class Placement : std::uint8_t { kCpu, kGpu };
+
+/// Per-query latency breakdown in simulated time.
+struct QueryMetrics {
+  sim::Duration total;
+  sim::Duration decode;
+  sim::Duration intersect;
+  sim::Duration transfer;   ///< PCIe traffic + device allocations
+  sim::Duration rank;
+  std::uint64_t gpu_kernels = 0;
+  std::uint64_t migrations = 0;   ///< GPU<->CPU hand-offs mid-query
+  std::uint64_t result_count = 0; ///< docs matching all terms
+  std::vector<Placement> placements;  ///< one per intersection step
+
+  void add_stage(sim::Duration d, sim::Duration* stage) {
+    total += d;
+    *stage += d;
+  }
+};
+
+struct QueryResult {
+  std::vector<ScoredDoc> topk;
+  QueryMetrics metrics;
+};
+
+/// Common interface: execute one query over a fixed index.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual QueryResult execute(const Query& q) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace griffin::core

@@ -1,0 +1,95 @@
+#include "core/scheduler.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+
+namespace griffin::core {
+
+Placement Scheduler::decide(const StepShape& s) const {
+  switch (opt_.policy) {
+    case SchedulerPolicy::kAlwaysCpu:
+      return Placement::kCpu;
+    case SchedulerPolicy::kAlwaysGpu:
+      return Placement::kGpu;
+    case SchedulerPolicy::kRatioThreshold: {
+      if (s.shorter == 0) return Placement::kCpu;  // nothing left to do
+      const double ratio = static_cast<double>(s.longer) /
+                           static_cast<double>(s.shorter);
+      return ratio < opt_.ratio_threshold ? Placement::kGpu : Placement::kCpu;
+    }
+    case SchedulerPolicy::kCostModel:
+      return estimate_gpu(s) < estimate_cpu(s) ? Placement::kGpu
+                                               : Placement::kCpu;
+  }
+  return Placement::kCpu;
+}
+
+sim::Duration Scheduler::estimate_cpu(const StepShape& s) const {
+  const auto& c = hw_.cpu;
+  const double ns = static_cast<double>(s.shorter);
+  const double nl = static_cast<double>(s.longer);
+  double cycles;
+  if (s.shorter == 0) return sim::Duration();
+  const double ratio = nl / ns;
+  if (ratio >= 32.0) {
+    // Skip-pointer probing: log-time skip search per probe plus a full
+    // block decode per distinct touched block (the default, paper-faithful
+    // CPU baseline — see cpu/intersect.h on ef_random_access).
+    const double probes = ns;
+    const double steps = std::log2(std::max(nl / 128.0, 2.0)) + 7.0;
+    const double nblocks = nl / 128.0;
+    const double touched =
+        nblocks * (1.0 - std::exp(-probes / std::max(nblocks, 1.0)));
+    cycles = probes * steps * (3.0 + 0.5 * c.branch_miss_cycles) +
+             touched * 128.0 * c.ef_decode_cycles;
+  } else {
+    // Full decode + merge.
+    cycles = nl * c.pfor_decode_cycles + (ns + nl) * c.merge_step_cycles;
+  }
+  sim::Duration t = sim::Duration::from_cycles(cycles, c.clock_ghz);
+  // Migration: intermediate currently on the GPU must come back first.
+  if (s.current_location == Placement::kGpu) {
+    t += sim::Duration::from_us(hw_.pcie.latency_us) +
+         sim::Duration::from_ns(ns * 4.0 / hw_.pcie.bandwidth_gbps);
+  }
+  return t;
+}
+
+sim::Duration Scheduler::estimate_gpu(const StepShape& s) const {
+  const auto& g = hw_.gpu;
+  const double ns = static_cast<double>(s.shorter);
+  const double nl = static_cast<double>(s.longer);
+  if (s.shorter == 0) return sim::Duration();
+  const double ratio = nl / ns;
+
+  // Roughly five launches per step (decode + partition + merge + compact).
+  sim::Duration t = sim::Duration::from_us(5.0 * g.kernel_launch_us);
+  if (!opt_.assume_pooled_memory) {
+    t += sim::Duration::from_us(4.0 * hw_.pcie.alloc_us);
+  }
+  if (ratio < 128.0) {
+    // Transfer the compressed long list, decode everything, merge.
+    t += sim::Duration::from_us(hw_.pcie.latency_us) +
+         sim::Duration::from_ns(static_cast<double>(s.longer_bytes) /
+                                hw_.pcie.bandwidth_gbps);
+    const double touched_bytes = (ns + nl) * 12.0;  // decode + merge traffic
+    t += sim::Duration::from_ns(touched_bytes / g.mem_bandwidth_gbps);
+  } else {
+    // Only candidate blocks move and decode.
+    const double blocks = std::min(ns, nl / 128.0);
+    t += sim::Duration::from_us(hw_.pcie.latency_us) +
+         sim::Duration::from_ns(blocks * 128.0 /
+                                hw_.pcie.bandwidth_gbps);  // ~1 B/elem payload
+    t += sim::Duration::from_ns(ns * std::log2(std::max(nl / 128.0, 2.0)) *
+                                128.0 / g.mem_bandwidth_gbps);
+  }
+  // Migration: intermediate currently on the CPU must be shipped over.
+  if (s.current_location == Placement::kCpu) {
+    t += sim::Duration::from_us(hw_.pcie.latency_us) +
+         sim::Duration::from_ns(ns * 4.0 / hw_.pcie.bandwidth_gbps);
+  }
+  return t;
+}
+
+}  // namespace griffin::core

@@ -1,0 +1,69 @@
+// The intra-query scheduler — Griffin's first contribution (paper §3.2).
+// Before each pairwise intersection it decides which processor runs the
+// step. The default policy is the paper's: compare the length ratio
+// λ = |longer| / |shorter| against the crossover threshold; λ below the
+// threshold favors the GPU (everything must be decompressed anyway, so the
+// parallel decode + MergePath win), λ at or above favors the CPU (skip
+// pointers let it avoid most decompression, and there is no transfer cost).
+// The default threshold equals the compression block size (128): when
+// λ > block size, the short list has fewer elements than the long list has
+// blocks, so skippable blocks *must* exist (the paper's Figure 9 argument).
+//
+// A cost-aware policy (closed-form estimates fed by the same HardwareSpec
+// the engines charge against) is included as the extension the paper
+// sketches ("it could be extended to support other features"), and is
+// compared against the ratio rule in bench/ablation_scheduling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/query.h"
+#include "sim/hardware_spec.h"
+
+namespace griffin::core {
+
+enum class SchedulerPolicy : std::uint8_t {
+  kRatioThreshold,  ///< the paper's rule: GPU iff ratio < threshold
+  kCostModel,       ///< pick the processor with the lower estimated step time
+  kAlwaysCpu,       ///< degenerate policies for the static baselines
+  kAlwaysGpu,
+};
+
+struct SchedulerOptions {
+  SchedulerPolicy policy = SchedulerPolicy::kRatioThreshold;
+  /// Crossover for kRatioThreshold; the paper derives block_size (=128).
+  double ratio_threshold = 128.0;
+  /// kCostModel: assume the engines run with a warm device-memory pool
+  /// (GpuOptions::pooled_memory), i.e. no per-step allocation charges.
+  bool assume_pooled_memory = true;
+};
+
+/// One intersection step as the scheduler sees it.
+struct StepShape {
+  std::uint64_t shorter = 0;       ///< current intermediate (or short list)
+  std::uint64_t longer = 0;        ///< next posting list length
+  std::uint64_t longer_bytes = 0;  ///< its compressed payload bytes
+  std::optional<Placement> current_location;  ///< where the intermediate lives
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions opt = {}, sim::HardwareSpec hw = {})
+      : opt_(opt), hw_(hw) {}
+
+  const SchedulerOptions& options() const { return opt_; }
+
+  Placement decide(const StepShape& s) const;
+
+  /// Closed-form step-time estimates used by kCostModel (public for tests
+  /// and the scheduling ablation).
+  sim::Duration estimate_cpu(const StepShape& s) const;
+  sim::Duration estimate_gpu(const StepShape& s) const;
+
+ private:
+  SchedulerOptions opt_;
+  sim::HardwareSpec hw_;
+};
+
+}  // namespace griffin::core

@@ -1,0 +1,52 @@
+// BM25 ranking (Robertson & Walker [26]; paper §2.1.3). Scoring always runs
+// on the CPU — the paper's Figure 7 shows GPU selection/sorting loses at the
+// small result counts real queries produce, and Griffin follows that finding.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/query.h"
+#include "index/inverted_index.h"
+#include "sim/cpu_cost_model.h"
+
+namespace griffin::cpu {
+
+struct Bm25Params {
+  double k1 = 0.9;
+  double b = 0.4;
+};
+
+class Bm25Scorer {
+ public:
+  explicit Bm25Scorer(const index::InvertedIndex& idx, Bm25Params p = {})
+      : idx_(&idx), params_(p), avg_len_(idx.docs().avg_length()) {}
+
+  /// Robertson-Sparck-Jones idf with the +1 floor (never negative).
+  double idf(std::uint64_t df) const;
+
+  /// BM25 contribution of one (term, doc) pair.
+  double term_score(std::uint32_t tf, std::uint64_t df,
+                    std::uint32_t doc_len) const;
+
+  /// Scores every doc in `docs` (ascending) against all `terms`; appends
+  /// ScoredDocs to out and charges the rank-stage accumulator. Looks up each
+  /// term's tf by walking that term's block structure monotonically.
+  void score(std::span<const index::TermId> terms,
+             std::span<const index::DocId> docs,
+             std::vector<core::ScoredDoc>& out,
+             sim::CpuCostAccumulator& acc) const;
+
+ private:
+  const index::InvertedIndex* idx_;
+  Bm25Params params_;
+  double avg_len_;
+};
+
+/// Top-k selection by score (descending; ties by ascending doc) using
+/// std::partial_sort — the CPU ranking the paper selects in Figure 7.
+/// Truncates `results` to k and charges `acc`.
+void top_k(std::vector<core::ScoredDoc>& results, std::uint32_t k,
+           sim::CpuCostAccumulator& acc);
+
+}  // namespace griffin::cpu

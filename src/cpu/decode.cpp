@@ -1,0 +1,58 @@
+#include "cpu/decode.h"
+
+namespace griffin::cpu {
+
+namespace {
+/// Modeled per-element VByte decode cost (branchy byte loop).
+constexpr double kVByteCycles = 3.5;
+/// Simple16 unpacks ~a word of values per switch dispatch: very fast.
+constexpr double kSimple16Cycles = 1.8;
+}  // namespace
+
+std::uint64_t block_payload_bytes(const BlockCompressedList& list,
+                                  std::size_t b) {
+  const auto& metas = list.metas();
+  const std::uint64_t begin = metas[b].bit_offset;
+  const std::uint64_t end = b + 1 < metas.size()
+                                ? metas[b + 1].bit_offset
+                                : list.blob().size() * 64;
+  return (end - begin + 7) / 8;
+}
+
+std::uint32_t decode_block(const BlockCompressedList& list, std::size_t b,
+                           DocId* out, sim::CpuCostAccumulator& acc) {
+  const codec::BlockMeta& m = list.meta(b);
+  switch (list.scheme()) {
+    case codec::Scheme::kPForDelta:
+      acc.pfor_regulars(m.count > 0 ? m.count - 1u : 0u);
+      acc.pfor_exceptions(m.pfor.n_exceptions);
+      break;
+    case codec::Scheme::kEliasFano:
+      acc.ef_elements(m.count);
+      break;
+    case codec::Scheme::kVarByte:
+      acc.add_cycles(kVByteCycles * m.count);
+      break;
+    case codec::Scheme::kSimple16:
+      acc.add_cycles(kSimple16Cycles * m.count);
+      break;
+  }
+  acc.add_bytes(block_payload_bytes(list, b));
+  return list.decode_block(b, out);
+}
+
+void decode_all(const BlockCompressedList& list, std::vector<DocId>& out,
+                sim::CpuCostAccumulator& acc) {
+  out.resize(list.size());
+  DocId* p = out.data();
+  for (std::size_t b = 0; b < list.num_blocks(); ++b) {
+    p += decode_block(list, b, p, acc);
+  }
+  // Full materialization: the decoded array leaves cache, and the output
+  // writes count against memory bandwidth (unlike the cache-hot per-block
+  // decodes the intersection loops use).
+  acc.decode_materialize(list.size());
+  acc.add_bytes(list.size() * sizeof(DocId));
+}
+
+}  // namespace griffin::cpu

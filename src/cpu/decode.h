@@ -1,0 +1,31 @@
+// Sequential (CPU-side) block decoding with cost accounting. Functionally
+// these call straight into the codecs; on top they charge the CPU cost model
+// for the per-element decode work and the compressed bytes streamed from
+// memory, so decode time shows up in the query latency breakdown.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/block_codec.h"
+#include "sim/cpu_cost_model.h"
+
+namespace griffin::cpu {
+
+using codec::BlockCompressedList;
+using codec::DocId;
+
+/// Compressed payload size of one block, in bytes (for bandwidth charging).
+std::uint64_t block_payload_bytes(const BlockCompressedList& list,
+                                  std::size_t b);
+
+/// Decodes block b of `list` into out (room for list.block_size() values);
+/// returns the element count and charges `acc`.
+std::uint32_t decode_block(const BlockCompressedList& list, std::size_t b,
+                           DocId* out, sim::CpuCostAccumulator& acc);
+
+/// Decodes the full list, charging `acc`.
+void decode_all(const BlockCompressedList& list, std::vector<DocId>& out,
+                sim::CpuCostAccumulator& acc);
+
+}  // namespace griffin::cpu

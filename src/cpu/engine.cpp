@@ -1,0 +1,72 @@
+#include "cpu/engine.h"
+
+#include <algorithm>
+
+#include "cpu/decode.h"
+#include "cpu/intersect.h"
+
+namespace griffin::cpu {
+
+core::QueryResult CpuEngine::execute(const core::Query& q) {
+  core::QueryResult res;
+  core::QueryMetrics& m = res.metrics;
+  if (q.terms.empty()) return res;
+
+  // SvS: process lists shortest-first.
+  std::vector<index::TermId> terms(q.terms);
+  std::sort(terms.begin(), terms.end(),
+            [&](index::TermId a, index::TermId b) {
+              return idx_->list(a).size() < idx_->list(b).size();
+            });
+
+  std::vector<codec::DocId> current, next;
+
+  if (terms.size() == 1) {
+    sim::CpuCostAccumulator acc(spec_);
+    decode_all(idx_->list(terms[0]).docids, current, acc);
+    m.add_stage(acc.time(), &m.decode);
+  } else {
+    // First pair: both sides compressed.
+    const auto& l0 = idx_->list(terms[0]).docids;
+    const auto& l1 = idx_->list(terms[1]).docids;
+    sim::CpuCostAccumulator acc(spec_);
+    const double ratio = static_cast<double>(l1.size()) /
+                         static_cast<double>(l0.size());
+    if (ratio >= opt_.skip_ratio) {
+      std::vector<codec::DocId> probes;
+      decode_all(l0, probes, acc);
+      skip_intersect(probes, l1, current, acc, opt_.ef_random_access);
+    } else {
+      merge_intersect(l0, l1, current, acc);
+    }
+    m.placements.push_back(core::Placement::kCpu);
+    m.add_stage(acc.time(), &m.intersect);
+
+    // Remaining lists against the shrinking intermediate result.
+    for (std::size_t i = 2; i < terms.size() && !current.empty(); ++i) {
+      const auto& li = idx_->list(terms[i]).docids;
+      sim::CpuCostAccumulator step(spec_);
+      const double r = static_cast<double>(li.size()) /
+                       static_cast<double>(current.size());
+      if (r >= opt_.skip_ratio) {
+        skip_intersect(current, li, next, step, opt_.ef_random_access);
+      } else {
+        merge_intersect(current, li, next, step);
+      }
+      current.swap(next);
+      m.placements.push_back(core::Placement::kCpu);
+      m.add_stage(step.time(), &m.intersect);
+    }
+  }
+
+  m.result_count = current.size();
+
+  // Ranking: BM25 + partial_sort (always CPU; paper Figure 7).
+  sim::CpuCostAccumulator rank(spec_);
+  scorer_.score(terms, current, res.topk, rank);
+  top_k(res.topk, q.k, rank);
+  m.add_stage(rank.time(), &m.rank);
+  return res;
+}
+
+}  // namespace griffin::cpu

@@ -1,0 +1,41 @@
+// The CPU-only query engine: the "highly optimized CPU implementation" the
+// paper benchmarks Griffin against. SvS intersection order (shortest lists
+// first, per Culpepper & Moffat [11]), with a per-pair choice between the
+// sequential merge and the skip-pointer binary search based on the length
+// ratio, then BM25 + partial_sort ranking.
+#pragma once
+
+#include "core/query.h"
+#include "cpu/bm25.h"
+#include "sim/hardware_spec.h"
+
+namespace griffin::cpu {
+
+struct CpuEngineOptions {
+  /// Use skip_intersect when |longer| / |shorter| >= this; merge otherwise.
+  double skip_ratio = 32.0;
+  /// Charge EF in-block random access in the skip path (an improvement over
+  /// the paper's PForDelta-era CPU baseline; see cpu/intersect.h).
+  bool ef_random_access = false;
+  Bm25Params bm25;
+};
+
+class CpuEngine : public core::Engine {
+ public:
+  CpuEngine(const index::InvertedIndex& idx, sim::CpuSpec spec = {},
+            CpuEngineOptions opt = {})
+      : idx_(&idx), spec_(spec), opt_(opt), scorer_(idx, opt.bm25) {}
+
+  core::QueryResult execute(const core::Query& q) override;
+  std::string name() const override { return "cpu"; }
+
+  const sim::CpuSpec& spec() const { return spec_; }
+
+ private:
+  const index::InvertedIndex* idx_;
+  sim::CpuSpec spec_;
+  CpuEngineOptions opt_;
+  Bm25Scorer scorer_;
+};
+
+}  // namespace griffin::cpu

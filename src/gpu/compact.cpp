@@ -1,0 +1,51 @@
+#include "gpu/compact.h"
+
+#include <numeric>
+
+namespace griffin::gpu {
+
+CompactResult compact_segments(simt::Device& dev,
+                               const simt::DeviceBuffer<DocId>& temp,
+                               std::span<const std::uint32_t> counts_host,
+                               std::uint32_t stride, const pcie::Link& link,
+                               pcie::TransferLedger& ledger) {
+  CompactResult res;
+  const std::size_t nblocks = counts_host.size();
+  std::vector<std::uint64_t> offsets(nblocks, 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    offsets[i] = total;
+    total += counts_host[i];
+  }
+  res.count = total;
+  res.data = dev.alloc<DocId>(std::max<std::uint64_t>(total, 1));
+  ledger.add_alloc(link);
+  if (total == 0) return res;
+
+  auto offsets_dev = dev.alloc<std::uint64_t>(nblocks);
+  ledger.add_alloc(link);
+  dev.upload(offsets_dev, std::span<const std::uint64_t>(offsets));
+  ledger.add_transfer(link, nblocks * 8, /*h2d=*/true);
+
+  res.stats = simt::launch(
+      dev, {static_cast<std::uint32_t>(nblocks), 128}, [&](simt::Block& blk) {
+        const std::uint32_t bid = blk.block_id();
+        const std::uint32_t n = counts_host[bid];
+        blk.for_each_thread([&](simt::Thread& t) {
+          std::uint64_t base = 0;
+          if (t.tid() == 0) base = t.load(offsets_dev, bid);
+          (void)base;
+        });
+        blk.for_each_thread([&](simt::Thread& t) {
+          for (std::uint32_t i = t.tid(); i < n; i += blk.dim()) {
+            const DocId v =
+                t.load(temp, static_cast<std::uint64_t>(bid) * stride + i);
+            t.store(res.data, offsets[bid] + i, v);
+            t.charge(simt::kAluCycle);
+          }
+        });
+      });
+  return res;
+}
+
+}  // namespace griffin::gpu

@@ -1,0 +1,72 @@
+#include "gpu/device_list.h"
+
+#include <cassert>
+
+namespace griffin::gpu {
+
+DeviceList upload_list(simt::Device& dev, const codec::BlockCompressedList& list,
+                       const pcie::Link& link, pcie::TransferLedger& ledger,
+                       bool defer_payload) {
+  DeviceList d;
+  d.scheme = list.scheme();
+  d.block_size = list.block_size();
+  d.size = list.size();
+
+  d.host_descs.reserve(list.num_blocks());
+  std::uint64_t offset = 0;
+  for (const codec::BlockMeta& m : list.metas()) {
+    BlockDesc b;
+    b.first = m.first;
+    b.last = m.last;
+    b.bit_offset = m.bit_offset;
+    b.count = m.count;
+    b.ef_b = m.ef.b;
+    b.hb_words = m.ef.hb_words;
+    b.pfor_b = m.pfor.b;
+    b.pfor_n_exceptions = m.pfor.n_exceptions;
+    b.pfor_first_exception = m.pfor.first_exception;
+    b.out_offset = offset;
+    offset += m.count;
+    d.host_descs.push_back(b);
+  }
+  assert(offset == d.size);
+
+  d.blob = dev.alloc<std::uint64_t>(list.blob().size());
+  ledger.add_alloc(link);
+  dev.upload(d.blob, list.blob());
+  if (!defer_payload) {
+    ledger.add_transfer(link, list.blob().size() * 8, /*h2d=*/true);
+  }
+
+  d.descs = dev.alloc<BlockDesc>(d.host_descs.size());
+  ledger.add_alloc(link);
+  dev.upload(d.descs, std::span<const BlockDesc>(d.host_descs));
+  ledger.add_transfer(link, d.host_descs.size() * sizeof(BlockDesc), true);
+  return d;
+}
+
+void charge_block_payload_upload(const DeviceList& list,
+                                 std::span<const std::uint32_t> ids,
+                                 const pcie::Link& link,
+                                 pcie::TransferLedger& ledger) {
+  std::uint64_t bytes = 0;
+  for (std::uint32_t b : ids) bytes += list.block_payload_bytes(b);
+  if (bytes > 0) ledger.add_transfer(link, bytes, /*h2d=*/true);
+}
+
+std::uint64_t load_bits(simt::Thread& t,
+                        const simt::DeviceBuffer<std::uint64_t>& blob,
+                        std::uint64_t pos, std::uint32_t len) {
+  if (len == 0) return 0;
+  assert(len <= 64);
+  const std::uint64_t word_idx = pos >> 6;
+  const std::uint32_t bit_idx = static_cast<std::uint32_t>(pos & 63);
+  std::uint64_t value = t.load(blob, word_idx) >> bit_idx;
+  if (bit_idx + len > 64) {
+    value |= t.load(blob, word_idx + 1) << (64 - bit_idx);
+  }
+  if (len == 64) return value;
+  return value & ((std::uint64_t{1} << len) - 1);
+}
+
+}  // namespace griffin::gpu

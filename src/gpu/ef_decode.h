@@ -1,0 +1,34 @@
+// Para-EF: parallel Elias-Fano decompression on the virtual GPU — the
+// paper's Algorithm 1 and first key contribution of Griffin-GPU. One SIMT
+// block decodes one 128-posting block:
+//   1. each thread popcounts one 32-bit word of the high-bits vector;
+//   2. a block-wide prefix sum turns the popcounts into element offsets
+//      (the "scheduling" phase — it assigns each output element to the word
+//      that encodes it);
+//   3. each thread recovers its element: select its set bit inside the
+//      word, rebuild the high part, fetch the low bits, concatenate.
+// The popcount/prefix-sum/scatter structure removes the serial dependence
+// that makes CPU-style EF scanning sequential.
+#pragma once
+
+#include "gpu/device_list.h"
+
+namespace griffin::gpu {
+
+/// Decodes posting blocks [lo, hi) of an EF-coded device list into out, at
+/// positions out_base + (desc.out_offset - descs[lo].out_offset) onward.
+/// Returns the counted kernel work.
+sim::KernelStats ef_decode_range(simt::Device& dev, const DeviceList& list,
+                                 std::size_t lo, std::size_t hi,
+                                 simt::DeviceBuffer<DocId>& out,
+                                 std::uint64_t out_base = 0);
+
+/// Decodes an arbitrary subset of posting blocks (ids ascending, device copy
+/// in `ids_dev`, host copy in `ids`). Block ids[i] lands at out slot
+/// i * list.block_size (slots are fixed-stride so callers can index them).
+sim::KernelStats ef_decode_selected(simt::Device& dev, const DeviceList& list,
+                                    const simt::DeviceBuffer<std::uint32_t>& ids_dev,
+                                    std::span<const std::uint32_t> ids,
+                                    simt::DeviceBuffer<DocId>& out);
+
+}  // namespace griffin::gpu

@@ -1,0 +1,170 @@
+#include "gpu/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace griffin::gpu {
+
+GpuExecutor::GpuExecutor(const index::InvertedIndex& idx, sim::HardwareSpec hw,
+                         GpuOptions opt)
+    : idx_(&idx),
+      hw_(hw),
+      opt_(opt),
+      device_(hw.gpu, hw.pcie.device_mem_bytes),
+      cost_(hw.gpu),
+      link_([&] {
+        sim::PcieSpec spec = hw.pcie;
+        if (opt.pooled_memory) spec.alloc_us = 0.0;
+        return pcie::Link(spec);
+      }()) {
+  assert(idx.scheme() == codec::Scheme::kEliasFano &&
+         "Griffin-GPU decodes with Para-EF; build the index with EF");
+}
+
+void GpuExecutor::begin_query() {
+  current_ = simt::DeviceBuffer<DocId>();
+  current_count_ = kNoIntermediate;
+}
+
+void GpuExecutor::charge_kernel(const sim::KernelStats& s, sim::Duration* stage,
+                                core::QueryMetrics& m, std::uint32_t kernels) {
+  m.add_stage(cost_.kernel_time(s), stage);
+  m.gpu_kernels += kernels;
+}
+
+void GpuExecutor::charge_ledger(const pcie::TransferLedger& ledger,
+                                core::QueryMetrics& m) {
+  m.add_stage(ledger.total, &m.transfer);
+}
+
+simt::DeviceBuffer<DocId> GpuExecutor::decode_full_list(index::TermId t,
+                                                        core::QueryMetrics& m) {
+  const auto& list = idx_->list(t).docids;
+  pcie::TransferLedger ledger;
+  DeviceList dlist = upload_list(device_, list, link_, ledger);
+  auto out = device_.alloc<DocId>(list.size());
+  ledger.add_alloc(link_);
+  charge_ledger(ledger, m);
+
+  const sim::KernelStats s =
+      ef_decode_range(device_, dlist, 0, dlist.num_blocks(), out);
+  charge_kernel(s, &m.decode, m);
+  return out;
+}
+
+void GpuExecutor::intersect_first(index::TermId a, index::TermId b,
+                                  core::QueryMetrics& m) {
+  const auto& la = idx_->list(a).docids;
+  const auto& lb = idx_->list(b).docids;
+  assert(la.size() <= lb.size());
+  const double ratio = static_cast<double>(lb.size()) /
+                       static_cast<double>(la.size());
+
+  auto da = decode_full_list(a, m);
+
+  pcie::TransferLedger ledger;
+  GpuIntersectResult r;
+  if (ratio < opt_.path_ratio) {
+    auto db = decode_full_list(b, m);
+    r = mergepath_intersect(device_, da, la.size(), db, lb.size(), link_,
+                            ledger);
+  } else {
+    DeviceList dlist = upload_list(device_, lb, link_, ledger,
+                                   /*defer_payload=*/true);
+    r = binary_search_intersect(device_, da, la.size(), dlist, link_, ledger,
+                                /*deferred_payload=*/true);
+  }
+  charge_ledger(ledger, m);
+  charge_kernel(r.stats, &m.intersect, m, r.kernels);
+  current_ = std::move(r.result);
+  current_count_ = r.count;
+  m.placements.push_back(core::Placement::kGpu);
+}
+
+void GpuExecutor::intersect_next(index::TermId t, core::QueryMetrics& m) {
+  assert(has_intermediate());
+  const auto& lt = idx_->list(t).docids;
+  const double ratio =
+      current_count_ == 0
+          ? opt_.path_ratio  // empty intermediate: nothing to merge anyway
+          : static_cast<double>(lt.size()) /
+                static_cast<double>(current_count_);
+
+  pcie::TransferLedger ledger;
+  GpuIntersectResult r;
+  if (ratio < opt_.path_ratio) {
+    auto dt = decode_full_list(t, m);
+    r = mergepath_intersect(device_, current_, current_count_, dt, lt.size(),
+                            link_, ledger);
+  } else {
+    DeviceList dlist = upload_list(device_, lt, link_, ledger, true);
+    r = binary_search_intersect(device_, current_, current_count_, dlist,
+                                link_, ledger, true);
+  }
+  charge_ledger(ledger, m);
+  charge_kernel(r.stats, &m.intersect, m, r.kernels);
+  current_ = std::move(r.result);
+  current_count_ = r.count;
+  m.placements.push_back(core::Placement::kGpu);
+}
+
+void GpuExecutor::load_single(index::TermId t, core::QueryMetrics& m) {
+  current_ = decode_full_list(t, m);
+  current_count_ = idx_->list(t).size();
+}
+
+void GpuExecutor::upload_intermediate(std::span<const DocId> docs,
+                                      core::QueryMetrics& m) {
+  pcie::TransferLedger ledger;
+  current_ = device_.alloc<DocId>(std::max<std::size_t>(docs.size(), 1));
+  ledger.add_alloc(link_);
+  device_.upload(current_, docs);
+  ledger.add_transfer(link_, docs.size_bytes(), /*h2d=*/true);
+  charge_ledger(ledger, m);
+  current_count_ = docs.size();
+}
+
+std::vector<DocId> GpuExecutor::download_intermediate(core::QueryMetrics& m) {
+  assert(has_intermediate());
+  std::vector<DocId> out(current_count_);
+  pcie::TransferLedger ledger;
+  device_.download(std::span<DocId>(out), current_);
+  ledger.add_transfer(link_, out.size() * sizeof(DocId), /*h2d=*/false);
+  charge_ledger(ledger, m);
+  return out;
+}
+
+core::QueryResult GpuEngine::execute(const core::Query& q) {
+  core::QueryResult res;
+  core::QueryMetrics& m = res.metrics;
+  if (q.terms.empty()) return res;
+
+  std::vector<index::TermId> terms(q.terms);
+  std::sort(terms.begin(), terms.end(),
+            [&](index::TermId a, index::TermId b) {
+              return idx_->list(a).size() < idx_->list(b).size();
+            });
+
+  exec_.begin_query();
+  if (terms.size() == 1) {
+    exec_.load_single(terms[0], m);
+  } else {
+    exec_.intersect_first(terms[0], terms[1], m);
+    for (std::size_t i = 2; i < terms.size(); ++i) {
+      if (exec_.intermediate_count() == 0) break;
+      exec_.intersect_next(terms[i], m);
+    }
+  }
+
+  std::vector<DocId> docs = exec_.download_intermediate(m);
+  exec_.begin_query();  // release device buffers
+  m.result_count = docs.size();
+
+  sim::CpuCostAccumulator rank(hw_.cpu);
+  scorer_.score(terms, docs, res.topk, rank);
+  cpu::top_k(res.topk, q.k, rank);
+  m.add_stage(rank.time(), &m.rank);
+  return res;
+}
+
+}  // namespace griffin::gpu

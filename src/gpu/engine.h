@@ -1,0 +1,106 @@
+// Griffin-GPU: the GPU-only query engine (paper §3.1). Decompression is
+// Para-EF, intersection picks between the MergePath kernel (comparable
+// lengths) and parallel binary search over skip pointers (high ratio) at the
+// same crossover the scheduler uses, and ranking runs on the CPU per the
+// Figure 7 finding. GpuExecutor exposes the per-step operations so the
+// hybrid Griffin engine can drive individual steps and migrate between
+// processors mid-query.
+#pragma once
+
+#include <optional>
+
+#include "core/query.h"
+#include "cpu/bm25.h"
+#include "gpu/binary_intersect.h"
+#include "gpu/device_list.h"
+#include "gpu/ef_decode.h"
+#include "gpu/mergepath.h"
+#include "pcie/link.h"
+#include "sim/gpu_cost_model.h"
+#include "sim/hardware_spec.h"
+
+namespace griffin::gpu {
+
+struct GpuOptions {
+  /// Intersection-path crossover: MergePath below, binary search at/above.
+  /// 128 = the block size, per the paper's §3.2 analysis.
+  double path_ratio = 128.0;
+  /// Reuse device buffers across queries from a warm memory pool: the
+  /// per-step cudaMalloc overhead (tens of microseconds per allocation,
+  /// several allocations per step) is a one-time warmup cost in a serving
+  /// system, not a per-query cost. Disable to charge every allocation.
+  bool pooled_memory = true;
+};
+
+/// Step-level GPU execution over one index. Holds the device, the cost
+/// model, and the current (device-resident, decoded) intermediate result.
+class GpuExecutor {
+ public:
+  GpuExecutor(const index::InvertedIndex& idx, sim::HardwareSpec hw = {},
+              GpuOptions opt = {});
+
+  /// Drops per-query device state.
+  void begin_query();
+
+  /// Intersects the first two lists entirely on the GPU.
+  void intersect_first(index::TermId a, index::TermId b, core::QueryMetrics& m);
+
+  /// Intersects the current intermediate result with another list.
+  void intersect_next(index::TermId t, core::QueryMetrics& m);
+
+  /// Decodes a single list to the device (single-term queries).
+  void load_single(index::TermId t, core::QueryMetrics& m);
+
+  /// Uploads a host intermediate result (CPU -> GPU migration).
+  void upload_intermediate(std::span<const DocId> docs, core::QueryMetrics& m);
+
+  /// Downloads the intermediate result (GPU -> CPU migration / final).
+  std::vector<DocId> download_intermediate(core::QueryMetrics& m);
+
+  bool has_intermediate() const { return current_count_ != kNoIntermediate; }
+  std::uint64_t intermediate_count() const { return current_count_; }
+
+  simt::Device& device() { return device_; }
+  const sim::HardwareSpec& hw() const { return hw_; }
+  const pcie::Link& link() const { return link_; }
+
+ private:
+  static constexpr std::uint64_t kNoIntermediate = ~std::uint64_t{0};
+
+  /// Uploads + Para-EF-decodes a full list; returns the decoded buffer.
+  simt::DeviceBuffer<DocId> decode_full_list(index::TermId t,
+                                             core::QueryMetrics& m);
+  void charge_kernel(const sim::KernelStats& s, sim::Duration* stage,
+                     core::QueryMetrics& m, std::uint32_t kernels = 1);
+  void charge_ledger(const pcie::TransferLedger& ledger, core::QueryMetrics& m);
+
+  const index::InvertedIndex* idx_;
+  sim::HardwareSpec hw_;
+  GpuOptions opt_;
+  simt::Device device_;
+  sim::GpuCostModel cost_;
+  pcie::Link link_;
+  simt::DeviceBuffer<DocId> current_;
+  std::uint64_t current_count_ = kNoIntermediate;
+};
+
+/// The GPU-only engine the paper evaluates as "GPU only" in Figures 14/15.
+class GpuEngine : public core::Engine {
+ public:
+  GpuEngine(const index::InvertedIndex& idx, sim::HardwareSpec hw = {},
+            GpuOptions opt = {}, cpu::Bm25Params bm25 = {})
+      : idx_(&idx), exec_(idx, hw, opt), scorer_(idx, bm25), hw_(hw) {}
+
+  core::QueryResult execute(const core::Query& q) override;
+  std::string name() const override { return "gpu"; }
+
+  GpuExecutor& executor() { return exec_; }
+
+ private:
+  const index::InvertedIndex* idx_;
+  GpuExecutor exec_;
+  cpu::Bm25Scorer scorer_;
+  sim::HardwareSpec hw_;
+};
+
+}  // namespace griffin::gpu

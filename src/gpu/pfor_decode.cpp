@@ -1,0 +1,79 @@
+#include "gpu/pfor_decode.h"
+
+#include <cassert>
+
+#include "simt/collectives.h"
+
+namespace griffin::gpu {
+
+sim::KernelStats pfor_decode_range(simt::Device& dev, const DeviceList& list,
+                                   std::size_t lo, std::size_t hi,
+                                   simt::DeviceBuffer<DocId>& out,
+                                   std::uint64_t out_base) {
+  assert(list.scheme == codec::Scheme::kPForDelta);
+  assert(lo < hi && hi <= list.num_blocks());
+  const std::uint64_t first_off = list.host_descs[lo].out_offset;
+
+  return simt::launch(
+      dev, {static_cast<std::uint32_t>(hi - lo), list.block_size},
+      [&](simt::Block& blk) {
+        const std::size_t pb = lo + blk.block_id();
+        const BlockDesc& d = list.host_descs[pb];
+        const std::uint64_t out_pos = out_base + d.out_offset - first_off;
+        const std::uint32_t n_gaps = d.count > 0 ? d.count - 1u : 0u;
+
+        auto gaps = blk.shared<std::uint32_t>(std::max<std::uint32_t>(n_gaps, 1));
+
+        blk.for_each_thread([&](simt::Thread& t) {
+          if (t.tid() == 0) (void)t.load(list.descs, pb);
+        });
+
+        // Parallel part: unpack the b-bit slots.
+        blk.for_each_thread([&](simt::Thread& t) {
+          if (t.tid() >= n_gaps) return;
+          const auto slot = static_cast<std::uint32_t>(load_bits(
+              t, list.blob,
+              d.bit_offset + static_cast<std::uint64_t>(t.tid()) * d.pfor_b,
+              d.pfor_b));
+          t.sstore(std::span<std::uint32_t>(gaps), t.tid(), slot);
+        });
+
+        // Serial part: lane 0 walks the exception chain alone — every other
+        // lane of the warp idles (pure divergence), and each exception value
+        // is an isolated, uncoalesced global read. This is the data
+        // dependence that sinks PForDelta on the GPU.
+        if (d.pfor_n_exceptions > 0) {
+          const std::uint64_t exc_start = util::round_up(
+              d.bit_offset + static_cast<std::uint64_t>(n_gaps) * d.pfor_b, 32);
+          blk.for_each_thread([&](simt::Thread& t) {
+            if (t.tid() != 0) return;
+            std::uint32_t pos = d.pfor_first_exception;
+            for (std::uint32_t k = 0; k < d.pfor_n_exceptions; ++k) {
+              const std::uint32_t dist =
+                  t.sload(std::span<const std::uint32_t>(gaps), pos);
+              const auto value = static_cast<std::uint32_t>(
+                  load_bits(t, list.blob, exc_start + 32ull * k, 32));
+              t.sstore(std::span<std::uint32_t>(gaps), pos, value);
+              t.charge(2 * simt::kAluCycle);
+              pos += dist;
+            }
+          });
+        }
+
+        // d-gaps -> docIDs needs a prefix sum (gap_i stores docid delta - 1).
+        if (n_gaps > 0) {
+          simt::block_inclusive_scan(blk, gaps.subspan(0, n_gaps));
+        }
+        blk.for_each_thread([&](simt::Thread& t) {
+          if (t.tid() >= d.count) return;
+          DocId v = d.first;
+          if (t.tid() > 0) {
+            v += t.sload(std::span<const std::uint32_t>(gaps), t.tid() - 1) +
+                 t.tid();
+          }
+          t.store(out, out_pos + t.tid(), v);
+        });
+      });
+}
+
+}  // namespace griffin::gpu

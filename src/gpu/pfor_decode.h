@@ -1,0 +1,20 @@
+// PForDelta decompression ported to the GPU — deliberately included as the
+// *negative* result the paper describes (§2.3, §3.1.1): unpacking the b-bit
+// slots parallelizes fine, but the exception patch chain is a linked list
+// that one lane must walk serially while the rest of the warp idles, and the
+// d-gap -> docID conversion needs an extra block scan. The ablation bench
+// (bench/ablation_pfor_gpu) contrasts this kernel with Para-EF.
+#pragma once
+
+#include "gpu/device_list.h"
+
+namespace griffin::gpu {
+
+/// Decodes posting blocks [lo, hi) of a PForDelta device list into out at
+/// out_base onward (contiguous, like ef_decode_range).
+sim::KernelStats pfor_decode_range(simt::Device& dev, const DeviceList& list,
+                                   std::size_t lo, std::size_t hi,
+                                   simt::DeviceBuffer<DocId>& out,
+                                   std::uint64_t out_base = 0);
+
+}  // namespace griffin::gpu

@@ -1,0 +1,51 @@
+// GPU ranking-selection candidates the paper evaluates in §3.1.3 / Figure 7:
+// a brute-force radix sort (sort everything, take the first K) and
+// bucketSelect (Alabi et al. [7]: histogram refinement to locate the K-th
+// value, then select everything above it). The paper measures both losing to
+// CPU std::partial_sort at realistic result-set sizes — queries rarely match
+// more than a few thousand documents, too little work to amortize launch,
+// allocation and transfer overheads. These implementations exist to
+// regenerate that comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/device_list.h"
+
+namespace griffin::gpu {
+
+/// A scored candidate as laid out on the device (plain pair of words).
+struct DevScored {
+  std::uint32_t key = 0;  ///< order-preserving transform of the float score
+  std::uint32_t doc = 0;
+};
+
+/// Order-preserving float->u32 key (descending score == descending key).
+std::uint32_t float_to_key(float f);
+float key_to_float(std::uint32_t k);
+
+struct SelectResult {
+  std::vector<DevScored> topk;  ///< k best (key descending)
+  sim::KernelStats stats;
+  std::uint32_t kernels = 0;
+};
+
+/// Full LSD radix sort (4 x 8-bit passes) of the device array, then take the
+/// top k. Host round trips for the 256-bucket offsets are charged to ledger.
+SelectResult radix_sort_topk(simt::Device& dev,
+                             simt::DeviceBuffer<DevScored>& items,
+                             std::uint64_t n, std::uint32_t k,
+                             const pcie::Link& link,
+                             pcie::TransferLedger& ledger);
+
+/// bucketSelect: iterative 256-bucket histogram refinement to bracket the
+/// K-th max key, then compaction of every element above the threshold and a
+/// final small sort.
+SelectResult bucket_select_topk(simt::Device& dev,
+                                simt::DeviceBuffer<DevScored>& items,
+                                std::uint64_t n, std::uint32_t k,
+                                const pcie::Link& link,
+                                pcie::TransferLedger& ledger);
+
+}  // namespace griffin::gpu

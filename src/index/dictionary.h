@@ -1,0 +1,45 @@
+// Term dictionary: interned term strings <-> dense TermIds. The front door
+// of a real engine (queries arrive as words, not ids); kept separate from
+// InvertedIndex so id-only pipelines (the synthetic workloads) skip it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace griffin::index {
+
+class Dictionary {
+ public:
+  /// Returns the term's id, interning it if new.
+  TermId add(std::string_view term);
+
+  /// Lookup without interning.
+  std::optional<TermId> find(std::string_view term) const;
+
+  /// The term string for an id. Precondition: id < size().
+  const std::string& term(TermId id) const { return terms_[id]; }
+
+  std::size_t size() const { return terms_.size(); }
+
+  /// Tokenizes whitespace-separated text into (existing or new) TermIds.
+  std::vector<TermId> tokenize_interning(std::string_view text);
+
+  /// Tokenizes, dropping unknown terms (query-time behaviour).
+  std::vector<TermId> tokenize(std::string_view text) const;
+
+ private:
+  /// Keeps ids_'s string_view keys valid across vector growth.
+  void arena_rekey();
+
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string_view, TermId> ids_;
+  std::size_t keyed_capacity_ = 0;
+};
+
+}  // namespace griffin::index

@@ -1,0 +1,58 @@
+// PCIe transfer model. The paper's testbed attaches the K20 over PCIe 2.0
+// x16 (8 GB/s); transfer time = DMA setup latency + bytes / bandwidth, and
+// each device allocation pays a cudaMalloc-like fixed cost. These overheads
+// are exactly what the scheduler must amortize (paper §2.3), so they are
+// tracked per query.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/hardware_spec.h"
+#include "sim/time.h"
+
+namespace griffin::pcie {
+
+class Link {
+ public:
+  explicit Link(sim::PcieSpec spec = {}) : spec_(spec) {}
+
+  const sim::PcieSpec& spec() const { return spec_; }
+
+  /// Time for one host->device or device->host DMA of `bytes`.
+  sim::Duration transfer_time(std::uint64_t bytes) const {
+    return sim::Duration::from_us(spec_.latency_us) +
+           sim::Duration::from_ns(static_cast<double>(bytes) /
+                                  spec_.bandwidth_gbps);
+  }
+
+  /// Time for one device allocation call.
+  sim::Duration alloc_time() const {
+    return sim::Duration::from_us(spec_.alloc_us);
+  }
+
+ private:
+  sim::PcieSpec spec_;
+};
+
+/// Running totals of modeled transfer activity, kept per engine/query so the
+/// latency breakdown can attribute time to data movement.
+struct TransferLedger {
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t allocs = 0;
+  sim::Duration total;
+
+  void add_transfer(const Link& link, std::uint64_t bytes, bool h2d) {
+    (h2d ? h2d_bytes : d2h_bytes) += bytes;
+    ++transfers;
+    total += link.transfer_time(bytes);
+  }
+  void add_alloc(const Link& link) {
+    ++allocs;
+    total += link.alloc_time();
+  }
+  void reset() { *this = TransferLedger{}; }
+};
+
+}  // namespace griffin::pcie

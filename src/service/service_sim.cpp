@@ -1,0 +1,67 @@
+#include "service/service_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace griffin::service {
+
+std::vector<sim::Duration> measure_service_times(
+    core::Engine& engine, const std::vector<core::Query>& queries) {
+  std::vector<sim::Duration> times;
+  times.reserve(queries.size());
+  for (const auto& q : queries) {
+    times.push_back(engine.execute(q).metrics.total);
+  }
+  return times;
+}
+
+ServiceResult run_service(std::span<const sim::Duration> service_times,
+                          const ServiceConfig& cfg) {
+  ServiceResult res;
+  util::Xoshiro256 rng(cfg.seed);
+
+  // Poisson arrivals: exponential inter-arrival gaps with mean 1/qps.
+  const double mean_gap_s = 1.0 / cfg.arrival_qps;
+
+  sim::Duration arrival;      // current query's arrival time
+  sim::Duration server_free;  // when the server becomes idle
+  sim::Duration busy_total;
+  std::vector<sim::Duration> completions;  // recent completion times
+
+  for (const sim::Duration service : service_times) {
+    const double u = std::max(rng.uniform01(), 1e-12);
+    arrival += sim::Duration::from_seconds(-mean_gap_s * std::log(u));
+
+    res.service_ms.add(service.ms());
+    const sim::Duration start = sim::max(arrival, server_free);
+    const sim::Duration done = start + service;
+    server_free = done;
+    busy_total += service;
+    res.response_ms.add((done - arrival).ms());
+
+    // Backlog depth at this arrival: completions still pending.
+    completions.push_back(done);
+    std::uint64_t in_queue = 0;
+    for (const auto& c : completions) {
+      if (c > arrival) ++in_queue;
+    }
+    res.max_queue_depth = std::max(res.max_queue_depth, in_queue);
+    if (completions.size() > 4096) {
+      completions.erase(completions.begin(), completions.begin() + 2048);
+    }
+  }
+
+  if (server_free.ps() > 0) {
+    res.utilization = busy_total / server_free;
+  }
+  return res;
+}
+
+ServiceResult run_service(core::Engine& engine,
+                          const std::vector<core::Query>& queries,
+                          const ServiceConfig& cfg) {
+  const auto times = measure_service_times(engine, queries);
+  return run_service(std::span<const sim::Duration>(times), cfg);
+}
+
+}  // namespace griffin::service

@@ -1,0 +1,53 @@
+// Interactive-service simulation: the paper closes by noting Griffin should
+// be evaluated "in more complex scenarios under heavy system loads with
+// multiple users" — this module provides that as a discrete-event queueing
+// simulation in the same simulated clock the engines use.
+//
+// Queries arrive as a Poisson process and queue FCFS for a single query-
+// processing node (the paper's per-node intra-query setting). A query's
+// service time is its engine latency (simulated); its *response* time adds
+// the queueing delay. Because Griffin shortens exactly the long queries
+// that block the queue, its tail-latency advantage compounds under load —
+// the classic head-of-line effect this bench quantifies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/query.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace griffin::service {
+
+struct ServiceConfig {
+  /// Mean offered load in queries per second (Poisson arrivals).
+  double arrival_qps = 100.0;
+  std::uint64_t seed = 99;
+};
+
+struct ServiceResult {
+  util::PercentileTracker response_ms;  ///< queueing + service
+  util::PercentileTracker service_ms;   ///< engine latency alone
+  double utilization = 0.0;             ///< busy fraction of the server
+  std::uint64_t max_queue_depth = 0;
+
+  double mean_response_ms() const { return response_ms.mean(); }
+};
+
+/// Queueing simulation over precomputed per-query service times (engine
+/// latencies are deterministic, so load sweeps reuse one execution pass).
+ServiceResult run_service(std::span<const sim::Duration> service_times,
+                          const ServiceConfig& cfg);
+
+/// Convenience: executes each query once through `engine`, then simulates.
+ServiceResult run_service(core::Engine& engine,
+                          const std::vector<core::Query>& queries,
+                          const ServiceConfig& cfg);
+
+/// One execution pass: the service-time vector for a query set.
+std::vector<sim::Duration> measure_service_times(
+    core::Engine& engine, const std::vector<core::Query>& queries);
+
+}  // namespace griffin::service

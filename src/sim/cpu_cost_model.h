@@ -1,0 +1,52 @@
+// Cost accounting for the CPU query engine. Engines charge cycles for the
+// scalar work they do (compares, decodes, branch misses) and bytes for the
+// data they stream; the resulting time is roofline-style: whichever of the
+// compute or bandwidth terms is larger. One accumulator covers one pipeline
+// stage (decode / intersect / rank) of one query.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/hardware_spec.h"
+#include "sim/time.h"
+
+namespace griffin::sim {
+
+class CpuCostAccumulator {
+ public:
+  explicit CpuCostAccumulator(const CpuSpec& spec) : spec_(&spec) {}
+
+  void add_cycles(double c) { cycles_ += c; }
+  void add_bytes(std::uint64_t b) { bytes_ += b; }
+
+  // Convenience charges matching the CpuSpec knobs.
+  void merge_steps(std::uint64_t n) { cycles_ += n * spec_->merge_step_cycles; }
+  void branch_misses(std::uint64_t n) { cycles_ += n * spec_->branch_miss_cycles; }
+  void cache_misses(std::uint64_t n) { cycles_ += n * spec_->cache_miss_cycles; }
+  void pfor_regulars(std::uint64_t n) { cycles_ += n * spec_->pfor_decode_cycles; }
+  void pfor_exceptions(std::uint64_t n) { cycles_ += n * spec_->pfor_exception_cycles; }
+  void ef_elements(std::uint64_t n) { cycles_ += n * spec_->ef_decode_cycles; }
+  void decode_materialize(std::uint64_t n) {
+    cycles_ += n * spec_->decode_materialize_cycles;
+  }
+  void scores(std::uint64_t n) { cycles_ += n * spec_->score_cycles; }
+  void heap_steps(std::uint64_t n) { cycles_ += n * spec_->heap_step_cycles; }
+
+  double cycles() const { return cycles_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// Roofline time for this stage.
+  Duration time() const {
+    const Duration compute = Duration::from_cycles(cycles_, spec_->clock_ghz);
+    const Duration bw = Duration::from_ns(static_cast<double>(bytes_) /
+                                          spec_->mem_bandwidth_gbps);
+    return max(compute, bw);
+  }
+
+ private:
+  const CpuSpec* spec_;
+  double cycles_ = 0.0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace griffin::sim

@@ -1,0 +1,75 @@
+// Hardware parameters for the simulated testbed. The defaults reproduce the
+// paper's evaluation platform (§4.1): a 4-core Intel Xeon E5-2609v2 at
+// 2.5 GHz with DDR3-1600, and an NVIDIA Tesla K20 (13 SMX, 2496 CUDA cores at
+// 706 MHz, 5 GB GDDR5 at 208 GB/s) attached over PCIe 2.0 x16 (8 GB/s).
+//
+// Every cost the engines charge is derived from these numbers — nothing about
+// the paper's *results* (speedups, the ratio-128 crossover, tail behaviour)
+// is encoded here, only the machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace griffin::sim {
+
+struct CpuSpec {
+  double clock_ghz = 2.5;
+  /// Sustainable load bandwidth of one core (DDR3-1600, single channel
+  /// effectively feeding one core's stream).
+  double mem_bandwidth_gbps = 12.8;
+
+  // Per-operation costs in core cycles, calibrated so that the CPU
+  // baseline's absolute times land near the paper's measured Figures 12/13
+  // (see EXPERIMENTS.md "Calibration"). Block decodes that stay in cache
+  // (the intersection path) are cheap; fully materializing a decompressed
+  // list (the decompression microbenchmark path) pays a per-element
+  // surcharge plus the output-write bandwidth.
+  /// Compare + advance in a 2-way merge over freshly decoded blocks,
+  /// including the branch mix and output writes. Calibrated to Figure 13's
+  /// measured CPU merge (hundreds of ms at 10M elements).
+  double merge_step_cycles = 25.0;
+  double branch_miss_cycles = 16.0;     ///< mispredicted data-dependent branch
+  double cache_miss_cycles = 180.0;     ///< DRAM-latency pointer chase
+  double pfor_decode_cycles = 2.5;      ///< per element, cache-hot block
+  double pfor_exception_cycles = 7.0;   ///< per exception (patch chain step)
+  double ef_decode_cycles = 3.0;        ///< per element, cache-hot block
+  double decode_materialize_cycles = 24.0;  ///< extra per element, decode_all
+  double score_cycles = 15.0;           ///< BM25 of one (doc, term) pair
+  double heap_step_cycles = 3.5;        ///< one partial_sort compare+sift step
+};
+
+struct GpuSpec {
+  int sm_count = 13;                   ///< K20 SMX units
+  int lanes_per_warp = 32;
+  /// Warp-instruction execution slots chip-wide per cycle: each SMX has 192
+  /// cores = 6 warp-widths.
+  int warp_slots_per_cycle = 13 * 6;
+  int max_resident_warps_per_sm = 64;
+  int max_threads_per_block = 1024;
+  std::size_t shared_mem_per_block = 48 * 1024;
+  double core_clock_ghz = 0.706;
+  double mem_bandwidth_gbps = 208.0;
+  double mem_latency_ns = 400.0;       ///< uncontended global-memory latency
+  double kernel_launch_us = 10.0;      ///< driver + dispatch overhead (CUDA 7)
+  double barrier_cycles = 40.0;        ///< block-wide __syncthreads cost
+  std::size_t mem_transaction_bytes = 128;
+};
+
+struct PcieSpec {
+  double bandwidth_gbps = 8.0;         ///< PCIe 2.0 x16 effective
+  double latency_us = 8.0;             ///< DMA setup + completion per transfer
+  double alloc_us = 50.0;              ///< cudaMalloc-equivalent, per call
+  std::size_t device_mem_bytes = 5ull * 1024 * 1024 * 1024;
+};
+
+struct HardwareSpec {
+  CpuSpec cpu;
+  GpuSpec gpu;
+  PcieSpec pcie;
+
+  /// The paper's testbed (§4.1). Also the default-constructed value.
+  static HardwareSpec paper_testbed() { return HardwareSpec{}; }
+};
+
+}  // namespace griffin::sim

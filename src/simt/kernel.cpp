@@ -1,0 +1,115 @@
+#include "simt/kernel.h"
+
+namespace griffin::simt {
+
+void Block::finish_region() {
+  const std::uint32_t nwarps = warps();
+  const std::uint64_t seg_bytes = spec_.mem_transaction_bytes;
+
+  // Regions end at a block barrier: every warp of the block occupies its SM
+  // slot until the slowest warp arrives, so the block's region time is the
+  // max over warps and every warp is charged it. (For balanced regions this
+  // equals the per-warp sum; for imbalanced ones — e.g. one lane serially
+  // walking a PForDelta exception chain while three warps idle — it models
+  // the idling the paper's §2.3 describes.)
+  double block_max_alu = 0.0;
+  for (std::uint32_t t = 0; t < block_dim_; ++t) {
+    block_max_alu = std::max(block_max_alu, lanes_[t].alu_);
+  }
+  stats_.warp_cycles += block_max_alu * nwarps;
+
+  for (std::uint32_t w = 0; w < nwarps; ++w) {
+    const std::uint32_t lo = w * 32;
+    const std::uint32_t hi = std::min(block_dim_, lo + 32);
+
+    std::size_t max_global = 0;
+    std::size_t max_shared = 0;
+    for (std::uint32_t t = lo; t < hi; ++t) {
+      max_global = std::max(max_global, lanes_[t].global_.size());
+      max_shared = std::max(max_shared, lanes_[t].shared_banks_.size());
+    }
+
+    // Coalesce global accesses: the o-th access of every lane in the warp
+    // issues together; distinct 128-byte segments become transactions. The
+    // per-ordinal segment set is tiny (1..64), so a linear-probe dedupe into
+    // a fixed array beats sorting.
+    for (std::size_t o = 0; o < max_global; ++o) {
+      std::uint64_t segs[64];
+      std::uint32_t nsegs = 0;
+      for (std::uint32_t t = lo; t < hi; ++t) {
+        const auto& g = lanes_[t].global_;
+        if (o >= g.size()) continue;
+        stats_.global_bytes_requested += g[o].bytes;
+        const std::uint64_t s0 = g[o].addr / seg_bytes;
+        const std::uint64_t s1 = (g[o].addr + g[o].bytes - 1) / seg_bytes;
+        for (std::uint64_t s = s0; s <= s1; ++s) {
+          bool seen = false;
+          for (std::uint32_t k = 0; k < nsegs; ++k) {
+            if (segs[k] == s) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen && nsegs < 64) segs[nsegs++] = s;
+        }
+      }
+      stats_.global_transactions += nsegs;
+    }
+
+    // Atomic serialization: the o-th atomic of the warp's lanes replays once
+    // per extra lane hitting the same address.
+    {
+      std::size_t max_atomics = 0;
+      for (std::uint32_t t = lo; t < hi; ++t) {
+        max_atomics = std::max(max_atomics, lanes_[t].atomic_addrs_.size());
+      }
+      constexpr double kAtomicReplayCycles = 8.0;
+      for (std::size_t o = 0; o < max_atomics; ++o) {
+        std::uint64_t addrs[32];
+        std::uint32_t counts[32];
+        std::uint32_t n = 0;
+        std::uint32_t max_mult = 1;
+        for (std::uint32_t t = lo; t < hi; ++t) {
+          const auto& aa = lanes_[t].atomic_addrs_;
+          if (o >= aa.size()) continue;
+          bool seen = false;
+          for (std::uint32_t k = 0; k < n; ++k) {
+            if (addrs[k] == aa[o]) {
+              max_mult = std::max(max_mult, ++counts[k]);
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) {
+            addrs[n] = aa[o];
+            counts[n] = 1;
+            ++n;
+          }
+        }
+        if (max_mult > 1) {
+          stats_.warp_cycles +=
+              static_cast<double>(max_mult - 1) * kAtomicReplayCycles;
+        }
+      }
+    }
+
+    // Shared-memory bank conflicts: the o-th shared access of the warp's
+    // lanes serializes by the most-contended bank.
+    for (std::size_t o = 0; o < max_shared; ++o) {
+      std::uint32_t bank_count[32] = {};
+      std::uint32_t max_mult = 0;
+      for (std::uint32_t t = lo; t < hi; ++t) {
+        const auto& s = lanes_[t].shared_banks_;
+        if (o >= s.size()) continue;
+        ++stats_.shared_accesses;
+        const std::uint32_t m = ++bank_count[s[o]];
+        max_mult = std::max(max_mult, m);
+      }
+      if (max_mult > 1) {
+        stats_.shared_conflict_cycles += static_cast<double>(max_mult - 1);
+      }
+    }
+  }
+}
+
+}  // namespace griffin::simt

@@ -1,0 +1,258 @@
+// Block-synchronous kernel execution for the virtual GPU.
+//
+// A kernel is a callable `void(Block&)` invoked once per thread block. Inside
+// it, `Block::for_each_thread` runs a region for every thread of the block;
+// consecutive regions are separated by an implicit block barrier (the
+// __syncthreads of this programming model). Per-lane "registers" that must
+// survive across regions are ordinary host arrays indexed by Thread::tid().
+//
+// While a region executes, the simulator counts the work each lane performs:
+//   - ALU cycles (explicit Thread::charge plus fixed per-access costs);
+//   - global memory accesses, grouped per warp and per instruction ordinal,
+//     then coalesced into 128-byte transactions exactly as the hardware
+//     would (lane k's o-th access coalesces with lane j's o-th access);
+//   - shared-memory accesses with bank-conflict serialization (32 banks of
+//     4 bytes).
+// A warp's time for a region is the maximum over its lanes (SIMT lockstep),
+// so divergent code pays the cost the paper describes in §2.3. The counts
+// feed sim::GpuCostModel, which turns them into simulated time.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/gpu_cost_model.h"
+#include "simt/device.h"
+#include "util/bits.h"
+
+namespace griffin::simt {
+
+struct LaunchConfig {
+  std::uint32_t grid_blocks = 1;
+  std::uint32_t block_threads = 256;
+};
+
+// Modeled issue costs, in core cycles per lane.
+inline constexpr double kAluCycle = 1.0;
+inline constexpr double kGlobalAccessCycles = 4.0;
+inline constexpr double kSharedAccessCycles = 2.0;
+
+class Block;
+
+/// Per-lane execution context, valid only inside a for_each_thread region.
+class Thread {
+ public:
+  std::uint32_t tid() const { return tid_; }
+  std::uint32_t block_id() const { return block_id_; }
+  std::uint32_t block_dim() const { return block_dim_; }
+  std::uint32_t gid() const { return block_id_ * block_dim_ + tid_; }
+  std::uint32_t lane() const { return tid_ % 32; }
+  std::uint32_t warp() const { return tid_ / 32; }
+
+  /// Explicit ALU charge (loop bookkeeping, compares, bit ops, ...).
+  void charge(double cycles) { alu_ += cycles; }
+
+  /// Global-memory read of one element.
+  template <typename T>
+  T load(const DeviceBuffer<T>& buf, std::uint64_t idx) {
+    assert(idx < buf.size());
+    record_global(buf.device_addr(idx), sizeof(T));
+    return buf.raw()[idx];
+  }
+
+  /// Global-memory write of one element.
+  template <typename T>
+  void store(DeviceBuffer<T>& buf, std::uint64_t idx, T value) {
+    assert(idx < buf.size());
+    record_global(buf.device_addr(idx), sizeof(T));
+    buf.raw()[idx] = value;
+  }
+
+  /// Shared-memory read (charged, bank-tracked).
+  template <typename T>
+  T sload(std::span<const T> shared, std::size_t idx) {
+    assert(idx < shared.size());
+    record_shared(reinterpret_cast<std::uintptr_t>(&shared[idx]));
+    return shared[idx];
+  }
+
+  /// Shared-memory write (charged, bank-tracked).
+  template <typename T>
+  void sstore(std::span<T> shared, std::size_t idx, T value) {
+    assert(idx < shared.size());
+    record_shared(reinterpret_cast<std::uintptr_t>(&shared[idx]));
+    shared[idx] = value;
+  }
+
+  /// CUDA __popc equivalent.
+  int popc(std::uint32_t x) {
+    charge(kAluCycle);
+    return util::popcount32(x);
+  }
+
+  /// Global atomic add; returns the previous value. Atomics from lanes of the
+  /// same warp hitting the same address serialize — the region analyzer adds
+  /// a replay penalty per extra hit.
+  template <typename T>
+  T atomic_add(DeviceBuffer<T>& buf, std::uint64_t idx, T value) {
+    assert(idx < buf.size());
+    record_global(buf.device_addr(idx), sizeof(T));
+    atomic_addrs_.push_back(buf.device_addr(idx));
+    charge(2 * kAluCycle);
+    const T old = buf.raw()[idx];
+    buf.raw()[idx] = old + value;
+    return old;
+  }
+
+  /// Global atomic max; returns the previous value.
+  template <typename T>
+  T atomic_max(DeviceBuffer<T>& buf, std::uint64_t idx, T value) {
+    assert(idx < buf.size());
+    record_global(buf.device_addr(idx), sizeof(T));
+    atomic_addrs_.push_back(buf.device_addr(idx));
+    charge(2 * kAluCycle);
+    const T old = buf.raw()[idx];
+    buf.raw()[idx] = std::max(old, value);
+    return old;
+  }
+
+ private:
+  friend class Block;
+
+  struct GlobalAccess {
+    std::uint64_t addr;
+    std::uint32_t bytes;
+  };
+
+  void record_global(std::uint64_t addr, std::uint32_t bytes) {
+    alu_ += kGlobalAccessCycles;
+    global_.push_back({addr, bytes});
+  }
+  void record_shared(std::uintptr_t host_addr) {
+    alu_ += kSharedAccessCycles;
+    // Bank = (word address) mod 32, 4-byte banks.
+    shared_banks_.push_back(static_cast<std::uint32_t>((host_addr / 4) % 32));
+  }
+
+  void reset(std::uint32_t tid, std::uint32_t block_id, std::uint32_t dim) {
+    tid_ = tid;
+    block_id_ = block_id;
+    block_dim_ = dim;
+    alu_ = 0.0;
+    global_.clear();
+    shared_banks_.clear();
+    atomic_addrs_.clear();
+  }
+
+  std::uint32_t tid_ = 0;
+  std::uint32_t block_id_ = 0;
+  std::uint32_t block_dim_ = 0;
+  double alu_ = 0.0;
+  std::vector<GlobalAccess> global_;
+  std::vector<std::uint32_t> shared_banks_;
+  std::vector<std::uint64_t> atomic_addrs_;
+};
+
+/// Per-block execution context handed to the kernel body. One Block object
+/// is reused across a launch's blocks (reset per block) so lane scratch
+/// buffers keep their capacity — a pure simulator-speed concern.
+class Block {
+ public:
+  Block(const sim::GpuSpec& spec, sim::KernelStats& stats,
+        std::uint32_t block_id, std::uint32_t block_dim,
+        std::uint32_t grid_dim)
+      : spec_(spec),
+        stats_(stats),
+        block_id_(block_id),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        shared_arena_(spec.shared_mem_per_block),
+        lanes_(block_dim) {
+    assert(block_dim_ > 0);
+    assert(block_dim_ <= static_cast<std::uint32_t>(spec.max_threads_per_block));
+  }
+
+  /// Rewinds per-block state for the next block of the same launch.
+  void reset_for_block(std::uint32_t block_id) {
+    block_id_ = block_id;
+    shared_used_ = 0;
+  }
+
+  std::uint32_t block_id() const { return block_id_; }
+  std::uint32_t dim() const { return block_dim_; }
+  std::uint32_t grid_dim() const { return grid_dim_; }
+  std::uint32_t warps() const { return (block_dim_ + 31) / 32; }
+
+  /// Allocate a shared-memory array for this block. Counts against the
+  /// modeled 48 KB shared-memory budget; contents persist across regions
+  /// within the block (like __shared__ arrays) and are zero-initialized.
+  template <typename T>
+  std::span<T> shared(std::size_t n) {
+    const std::size_t bytes = util::round_up(n * sizeof(T), 16);
+    if (shared_used_ + bytes > spec_.shared_mem_per_block) {
+      throw std::runtime_error("shared memory budget exceeded");
+    }
+    T* p = reinterpret_cast<T*>(shared_arena_.data() + shared_used_);
+    shared_used_ += bytes;
+    std::fill_n(p, n, T{});
+    return std::span<T>(p, n);
+  }
+
+  /// Execute one region: `f(Thread&)` for every thread of the block, then an
+  /// implicit barrier. Work counters are folded into the launch stats with
+  /// the per-warp max rule.
+  template <typename F>
+  void for_each_thread(F&& f) {
+    for (std::uint32_t t = 0; t < block_dim_; ++t) {
+      lanes_[t].reset(t, block_id_, block_dim_);
+      f(lanes_[t]);
+    }
+    finish_region();
+    barrier();
+  }
+
+  /// Explicit extra barrier (per-block __syncthreads).
+  void barrier() { ++stats_.barriers; }
+
+ private:
+  void finish_region();
+
+  const sim::GpuSpec& spec_;
+  sim::KernelStats& stats_;
+  std::uint32_t block_id_;
+  std::uint32_t block_dim_;
+  std::uint32_t grid_dim_;
+  std::size_t shared_used_ = 0;
+  std::vector<std::byte> shared_arena_;
+  std::vector<Thread> lanes_;
+};
+
+/// Launch a kernel: `body(Block&)` once per block. Returns the counted work;
+/// convert to time with sim::GpuCostModel::kernel_time.
+template <typename KernelBody>
+sim::KernelStats launch(Device& dev, LaunchConfig cfg, KernelBody&& body) {
+  assert(cfg.grid_blocks > 0);
+  sim::KernelStats stats;
+  stats.blocks = cfg.grid_blocks;
+  stats.warps = static_cast<std::uint64_t>(cfg.grid_blocks) *
+                ((cfg.block_threads + 31) / 32);
+  Block blk(dev.spec(), stats, 0, cfg.block_threads, cfg.grid_blocks);
+  for (std::uint32_t b = 0; b < cfg.grid_blocks; ++b) {
+    blk.reset_for_block(b);
+    body(blk);
+  }
+  return stats;
+}
+
+/// Grid size helper: blocks needed so grid*block >= n threads.
+inline std::uint32_t blocks_for(std::uint64_t n, std::uint32_t block_threads) {
+  return static_cast<std::uint32_t>(util::div_ceil(n, block_threads));
+}
+
+}  // namespace griffin::simt

@@ -1,0 +1,99 @@
+// Bit-manipulation primitives shared by the codecs, the SIMT simulator and
+// the query engines. All functions are constexpr-friendly and branch-free
+// where the underlying builtins allow it.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cassert>
+
+namespace griffin::util {
+
+/// Number of set bits in a 32-bit word (the CUDA `__popc` equivalent).
+inline int popcount32(std::uint32_t x) { return std::popcount(x); }
+
+/// Number of set bits in a 64-bit word (the CUDA `__popcll` equivalent).
+inline int popcount64(std::uint64_t x) { return std::popcount(x); }
+
+/// Floor of log2(x). Precondition: x > 0.
+inline std::uint32_t floor_log2(std::uint64_t x) {
+  assert(x > 0);
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// Ceiling of log2(x). Precondition: x > 0. ceil_log2(1) == 0.
+inline std::uint32_t ceil_log2(std::uint64_t x) {
+  assert(x > 0);
+  return x == 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// Number of bits needed to represent x (0 needs 1 bit by convention,
+/// matching what a fixed-width bit packer must allocate).
+inline std::uint32_t bit_width_or1(std::uint64_t x) {
+  return x == 0 ? 1u : static_cast<std::uint32_t>(std::bit_width(x));
+}
+
+/// Position (0-based, from LSB) of the k-th (0-based) set bit in `word`.
+/// Precondition: word has more than k set bits. This is the `select` half of
+/// the Elias-Fano high-bits decode; a branchy loop is fine on the host side
+/// because the SIMT simulator charges its own modeled cost.
+inline int select_in_word(std::uint64_t word, int k) {
+  assert(std::popcount(word) > k);
+  for (;;) {
+    int tz = std::countr_zero(word);
+    if (k == 0) return tz;
+    word &= word - 1;  // clear lowest set bit
+    --k;
+  }
+}
+
+/// Extract `len` bits starting at absolute bit offset `pos` from a packed
+/// little-endian bit stream stored in 64-bit words. len must be <= 57 so the
+/// value never spans more than two words... actually two-word handling below
+/// supports any len <= 64.
+inline std::uint64_t read_bits(const std::uint64_t* words, std::uint64_t pos,
+                               std::uint32_t len) {
+  if (len == 0) return 0;
+  assert(len <= 64);
+  const std::uint64_t word_idx = pos >> 6;
+  const std::uint32_t bit_idx = static_cast<std::uint32_t>(pos & 63);
+  std::uint64_t value = words[word_idx] >> bit_idx;
+  if (bit_idx + len > 64) {
+    value |= words[word_idx + 1] << (64 - bit_idx);
+  }
+  if (len == 64) return value;
+  return value & ((std::uint64_t{1} << len) - 1);
+}
+
+/// Write `len` low bits of `value` at absolute bit offset `pos` into a packed
+/// little-endian bit stream. The destination bits must be zero (append-style
+/// writing), which every packer in this codebase guarantees.
+inline void write_bits(std::uint64_t* words, std::uint64_t pos,
+                       std::uint32_t len, std::uint64_t value) {
+  if (len == 0) return;
+  assert(len <= 64);
+  if (len < 64) value &= ((std::uint64_t{1} << len) - 1);
+  const std::uint64_t word_idx = pos >> 6;
+  const std::uint32_t bit_idx = static_cast<std::uint32_t>(pos & 63);
+  words[word_idx] |= value << bit_idx;
+  if (bit_idx + len > 64) {
+    words[word_idx + 1] |= value >> (64 - bit_idx);
+  }
+}
+
+/// Words needed to hold `bits` bits.
+inline std::uint64_t words_for_bits(std::uint64_t bits) {
+  return (bits + 63) / 64;
+}
+
+/// Round x up to the next multiple of m (m > 0).
+inline std::uint64_t round_up(std::uint64_t x, std::uint64_t m) {
+  return (x + m - 1) / m * m;
+}
+
+/// Integer ceiling division.
+inline std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace griffin::util

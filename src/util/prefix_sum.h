@@ -1,0 +1,33 @@
+// Host-side scans. The GPU kernels model their own parallel Blelchoch-style
+// scans through the SIMT collectives (src/simt/collectives.h); these plain
+// sequential versions serve the CPU engine and reference checks in tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace griffin::util {
+
+/// In-place inclusive prefix sum: out[i] = sum(in[0..i]).
+template <typename T>
+void inclusive_scan_inplace(std::span<T> data) {
+  T acc{};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc += data[i];
+    data[i] = acc;
+  }
+}
+
+/// In-place exclusive prefix sum: out[i] = sum(in[0..i-1]); returns the total.
+template <typename T>
+T exclusive_scan_inplace(std::span<T> data) {
+  T acc{};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    T v = data[i];
+    data[i] = acc;
+    acc += v;
+  }
+  return acc;
+}
+
+}  // namespace griffin::util

@@ -1,0 +1,86 @@
+#include "workload/querylog.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/zipf.h"
+
+namespace griffin::workload {
+
+std::vector<double> term_count_distribution() {
+  // Figure 11: ~27% 2-term, ~33% 3-term, ~24% 4-term, then a short tail.
+  return {0.27, 0.33, 0.24, 0.08, 0.04, 0.02, 0.01, 0.01};
+}
+
+std::vector<core::Query> generate_query_log(const QueryLogConfig& cfg,
+                                            std::uint32_t num_terms) {
+  assert(num_terms >= 16);
+  util::Xoshiro256 rng(cfg.seed);
+  const util::ZipfSampler term_pick(num_terms, cfg.term_zipf_s);
+
+  const std::vector<double> dist = term_count_distribution();
+  std::vector<double> cdf(dist.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    acc += dist[i];
+    cdf[i] = acc;
+  }
+
+  std::vector<core::Query> log;
+  log.reserve(cfg.num_queries);
+  for (std::uint32_t qi = 0; qi < cfg.num_queries; ++qi) {
+    core::Query q;
+    q.id = qi;
+    q.k = cfg.k;
+    const double u = rng.uniform01() * acc;
+    std::uint32_t n_terms = 2;
+    for (std::size_t i = 0; i < cdf.size(); ++i) {
+      if (u <= cdf[i]) {
+        n_terms = static_cast<std::uint32_t>(i) + 2;
+        break;
+      }
+    }
+    const bool topical = cfg.num_topics > 1 &&
+                         rng.uniform01() < cfg.topical_fraction;
+    if (topical) {
+      // All terms from one topic: ranks T+1, T+1+K, T+1+2K, ... where K is
+      // the topic count; the within-topic index is Zipf-biased like the
+      // global pick.
+      const auto topic =
+          static_cast<std::uint32_t>(rng.bounded(cfg.num_topics));
+      const std::uint32_t per_topic =
+          std::max(2u, num_terms / cfg.num_topics);
+      const util::ZipfSampler in_topic(per_topic, cfg.term_zipf_s);
+      std::uint32_t guard = 0;
+      while (q.terms.size() < n_terms && ++guard < 10'000) {
+        // On a duplicate draw, take the next unused in-topic slot instead of
+        // rerolling: real multi-word queries use several head terms, they
+        // don't dive into the tail.
+        auto j = static_cast<std::uint32_t>(in_topic(rng) - 1);
+        for (std::uint32_t tries = 0; tries < per_topic; ++tries) {
+          const std::uint64_t rank64 =
+              static_cast<std::uint64_t>(topic) +
+              static_cast<std::uint64_t>(j) * cfg.num_topics;
+          if (rank64 >= num_terms) break;
+          const auto rank = static_cast<index::TermId>(rank64);
+          if (std::find(q.terms.begin(), q.terms.end(), rank) ==
+              q.terms.end()) {
+            q.terms.push_back(rank);
+            break;
+          }
+          j = (j + 1) % per_topic;
+        }
+      }
+    }
+    while (q.terms.size() < n_terms) {
+      const auto rank = static_cast<index::TermId>(term_pick(rng) - 1);
+      if (std::find(q.terms.begin(), q.terms.end(), rank) == q.terms.end()) {
+        q.terms.push_back(rank);
+      }
+    }
+    log.push_back(std::move(q));
+  }
+  return log;
+}
+
+}  // namespace griffin::workload

@@ -1,0 +1,40 @@
+// Synthetic query log. The paper replays 10,000 queries from the TREC 2005/
+// 2006 efficiency-track logs; those distributions are reproduced here:
+// the term-count histogram of Figure 11 (27% two-term, 33% three-term, 24%
+// four-term, tail out past six) and the real-log property that query terms
+// skew toward frequent terms (which is what makes list-length ratios vary
+// across the rounds of a query and the characteristics change mid-query).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "util/rng.h"
+
+namespace griffin::workload {
+
+struct QueryLogConfig {
+  std::uint32_t num_queries = 1000;
+  std::uint32_t k = 10;
+  /// Bias of query terms toward frequent terms (rank ~ Zipf(s) over the
+  /// vocabulary; smaller s = flatter).
+  double term_zipf_s = 0.75;
+  std::uint64_t seed = 7;
+
+  /// Topical queries draw all their terms from one topic (set num_topics to
+  /// the corpus's CorpusConfig::num_topics). Real queries are topical —
+  /// their terms co-occur — which keeps conjunctive intermediates large.
+  std::uint32_t num_topics = 1;          ///< 1 = no topic structure
+  double topical_fraction = 1.0;         ///< share of queries that are topical
+};
+
+/// Figure 11's term-count distribution: P(#terms = 2..9), summing to 1.
+std::vector<double> term_count_distribution();
+
+/// Draws `cfg.num_queries` queries over a vocabulary of `num_terms` ranked
+/// lists (TermId == rank - 1, matching generate_corpus's ordering).
+std::vector<core::Query> generate_query_log(const QueryLogConfig& cfg,
+                                            std::uint32_t num_terms);
+
+}  // namespace griffin::workload

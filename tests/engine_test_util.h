@@ -1,0 +1,98 @@
+// Shared fixtures for engine-level tests: a small synthetic index plus a
+// brute-force reference executor (decode everything, std::set_intersection,
+// straightforward BM25) that every engine must agree with exactly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/query.h"
+#include "cpu/bm25.h"
+#include "workload/corpus.h"
+#include "workload/querylog.h"
+
+namespace griffin::testutil {
+
+inline workload::CorpusConfig small_corpus_config() {
+  workload::CorpusConfig cfg;
+  cfg.num_docs = 200'000;
+  cfg.num_terms = 300;
+  cfg.max_list_divisor = 3.0;
+  cfg.zipf_s = 0.9;
+  cfg.min_list_size = 64;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+/// Built once per test binary (corpus generation is the expensive part).
+inline const index::InvertedIndex& small_index() {
+  static const index::InvertedIndex idx =
+      workload::generate_corpus(small_corpus_config());
+  return idx;
+}
+
+/// A corpus in the regime the paper evaluates (long lists, where GPU work
+/// amortizes its fixed overheads) for performance-shape tests.
+inline workload::CorpusConfig large_corpus_config() {
+  workload::CorpusConfig cfg;
+  cfg.num_docs = 2'000'000;
+  cfg.num_terms = 200;
+  cfg.max_list_divisor = 3.0;
+  cfg.zipf_s = 0.9;
+  cfg.min_list_size = 256;
+  cfg.seed = 77;
+  return cfg;
+}
+
+inline const index::InvertedIndex& large_index() {
+  static const index::InvertedIndex idx =
+      workload::generate_corpus(large_corpus_config());
+  return idx;
+}
+
+/// Brute-force result: intersection docIDs in ascending order.
+inline std::vector<index::DocId> reference_matches(
+    const index::InvertedIndex& idx, const core::Query& q) {
+  std::vector<index::DocId> current;
+  bool first = true;
+  for (const auto t : q.terms) {
+    std::vector<index::DocId> docs;
+    idx.list(t).docids.decode_all(docs);
+    if (first) {
+      current = std::move(docs);
+      first = false;
+    } else {
+      std::vector<index::DocId> next;
+      std::set_intersection(current.begin(), current.end(), docs.begin(),
+                            docs.end(), std::back_inserter(next));
+      current = std::move(next);
+    }
+  }
+  return current;
+}
+
+/// Brute-force top-k (same scorer, same tie-breaks as the engines).
+inline std::vector<core::ScoredDoc> reference_topk(
+    const index::InvertedIndex& idx, const core::Query& q) {
+  const auto matches = reference_matches(idx, q);
+  cpu::Bm25Scorer scorer(idx);
+  sim::CpuCostAccumulator acc{sim::CpuSpec{}};
+  std::vector<core::ScoredDoc> scored;
+  scorer.score(q.terms, matches, scored, acc);
+  cpu::top_k(scored, q.k, acc);
+  return scored;
+}
+
+inline void expect_same_topk(const std::vector<core::ScoredDoc>& got,
+                             const std::vector<core::ScoredDoc>& want,
+                             const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].doc, want[i].doc) << label << " rank " << i;
+    EXPECT_NEAR(got[i].score, want[i].score, 1e-4) << label << " rank " << i;
+  }
+}
+
+}  // namespace griffin::testutil

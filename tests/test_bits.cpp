@@ -1,0 +1,93 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace gu = griffin::util;
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(gu::popcount32(0u), 0);
+  EXPECT_EQ(gu::popcount32(1u), 1);
+  EXPECT_EQ(gu::popcount32(0xFFFFFFFFu), 32);
+  EXPECT_EQ(gu::popcount32(0xAAAAAAAAu), 16);
+  EXPECT_EQ(gu::popcount64(0xFFFFFFFFFFFFFFFFull), 64);
+}
+
+TEST(Bits, FloorCeilLog2) {
+  EXPECT_EQ(gu::floor_log2(1), 0u);
+  EXPECT_EQ(gu::floor_log2(2), 1u);
+  EXPECT_EQ(gu::floor_log2(3), 1u);
+  EXPECT_EQ(gu::floor_log2(4), 2u);
+  EXPECT_EQ(gu::floor_log2(1023), 9u);
+  EXPECT_EQ(gu::floor_log2(1024), 10u);
+  EXPECT_EQ(gu::ceil_log2(1), 0u);
+  EXPECT_EQ(gu::ceil_log2(2), 1u);
+  EXPECT_EQ(gu::ceil_log2(3), 2u);
+  EXPECT_EQ(gu::ceil_log2(1024), 10u);
+  EXPECT_EQ(gu::ceil_log2(1025), 11u);
+}
+
+TEST(Bits, BitWidthOr1) {
+  EXPECT_EQ(gu::bit_width_or1(0), 1u);
+  EXPECT_EQ(gu::bit_width_or1(1), 1u);
+  EXPECT_EQ(gu::bit_width_or1(2), 2u);
+  EXPECT_EQ(gu::bit_width_or1(255), 8u);
+  EXPECT_EQ(gu::bit_width_or1(256), 9u);
+}
+
+TEST(Bits, SelectInWord) {
+  EXPECT_EQ(gu::select_in_word(0b1, 0), 0);
+  EXPECT_EQ(gu::select_in_word(0b10110, 0), 1);
+  EXPECT_EQ(gu::select_in_word(0b10110, 1), 2);
+  EXPECT_EQ(gu::select_in_word(0b10110, 2), 4);
+  // k-th set bit of all-ones is k.
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_EQ(gu::select_in_word(~0ull, k), k);
+  }
+}
+
+TEST(Bits, ReadWriteBitsRoundTrip) {
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> buf(64, 0);
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> writes;  // pos, len
+    std::vector<std::uint64_t> values;
+    std::uint64_t pos = rng() % 13;
+    while (true) {
+      const std::uint32_t len = 1 + rng() % 64;
+      if (pos + len > buf.size() * 64) break;
+      std::uint64_t v = rng();
+      if (len < 64) v &= (1ull << len) - 1;
+      griffin::util::write_bits(buf.data(), pos, len, v);
+      writes.push_back({pos, len});
+      values.push_back(v);
+      pos += len;
+    }
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      EXPECT_EQ(griffin::util::read_bits(buf.data(), writes[i].first,
+                                         writes[i].second),
+                values[i]);
+    }
+  }
+}
+
+TEST(Bits, ReadBitsZeroLen) {
+  std::uint64_t w[2] = {~0ull, ~0ull};
+  EXPECT_EQ(gu::read_bits(w, 17, 0), 0ull);
+}
+
+TEST(Bits, RoundUpDivCeil) {
+  EXPECT_EQ(gu::round_up(0, 8), 0ull);
+  EXPECT_EQ(gu::round_up(1, 8), 8ull);
+  EXPECT_EQ(gu::round_up(8, 8), 8ull);
+  EXPECT_EQ(gu::round_up(9, 8), 16ull);
+  EXPECT_EQ(gu::div_ceil(0, 3), 0ull);
+  EXPECT_EQ(gu::div_ceil(1, 3), 1ull);
+  EXPECT_EQ(gu::div_ceil(3, 3), 1ull);
+  EXPECT_EQ(gu::div_ceil(4, 3), 2ull);
+  EXPECT_EQ(gu::words_for_bits(0), 0ull);
+  EXPECT_EQ(gu::words_for_bits(1), 1ull);
+  EXPECT_EQ(gu::words_for_bits(64), 1ull);
+  EXPECT_EQ(gu::words_for_bits(65), 2ull);
+}

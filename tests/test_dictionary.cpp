@@ -1,0 +1,63 @@
+#include "index/dictionary.h"
+
+#include <gtest/gtest.h>
+
+using griffin::index::Dictionary;
+using griffin::index::TermId;
+
+TEST(Dictionary, InternAssignsDenseIds) {
+  Dictionary d;
+  EXPECT_EQ(d.add("alpha"), 0u);
+  EXPECT_EQ(d.add("beta"), 1u);
+  EXPECT_EQ(d.add("alpha"), 0u);  // idempotent
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.term(0), "alpha");
+  EXPECT_EQ(d.term(1), "beta");
+}
+
+TEST(Dictionary, FindWithoutInterning) {
+  Dictionary d;
+  d.add("gpu");
+  EXPECT_EQ(d.find("gpu"), std::optional<TermId>(0u));
+  EXPECT_EQ(d.find("cpu"), std::nullopt);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Dictionary, SurvivesManyInsertions) {
+  // Vector growth relocates small-string buffers; lookups must stay valid.
+  Dictionary d;
+  for (int i = 0; i < 5000; ++i) {
+    d.add("term_" + std::to_string(i));
+  }
+  EXPECT_EQ(d.size(), 5000u);
+  for (int i = 0; i < 5000; i += 97) {
+    const auto id = d.find("term_" + std::to_string(i));
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(d.term(*id), "term_" + std::to_string(i));
+  }
+}
+
+TEST(Dictionary, TokenizeInterningLowercasesAndSplits) {
+  Dictionary d;
+  const auto ids = d.tokenize_interning("  GPU Query\tprocessing GPU\n");
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], ids[3]);  // "gpu" twice
+  EXPECT_EQ(d.term(ids[0]), "gpu");
+  EXPECT_EQ(d.term(ids[1]), "query");
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(Dictionary, TokenizeDropsUnknownTerms) {
+  Dictionary d;
+  d.tokenize_interning("known words only");
+  const auto ids = d.tokenize("known UNKNOWN words");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(d.term(ids[0]), "known");
+  EXPECT_EQ(d.term(ids[1]), "words");
+}
+
+TEST(Dictionary, EmptyAndWhitespaceOnly) {
+  Dictionary d;
+  EXPECT_TRUE(d.tokenize_interning("").empty());
+  EXPECT_TRUE(d.tokenize_interning("   \t\n ").empty());
+}

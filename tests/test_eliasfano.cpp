@@ -1,0 +1,106 @@
+#include "codec/eliasfano.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace gc = griffin::codec;
+
+namespace {
+std::vector<std::uint32_t> roundtrip(std::span<const std::uint32_t> values,
+                                     std::uint32_t universe) {
+  std::vector<std::uint64_t> blob;
+  std::uint64_t pos = 0;
+  const gc::EFHeader hdr = gc::ef_encode(values, universe, blob, pos);
+  EXPECT_EQ(pos, gc::ef_encoded_bits(universe, values.size()));
+  std::vector<std::uint32_t> out(values.size());
+  gc::ef_decode(blob, 0, static_cast<std::uint32_t>(values.size()), hdr,
+                out.data());
+  return out;
+}
+}  // namespace
+
+TEST(EliasFano, PaperFigure4Example) {
+  // Figure 4: sequence (5,6,8,15,18,33) with U=36, n=6 -> b = floor(log2 6)=2.
+  const std::vector<std::uint32_t> v{5, 6, 8, 15, 18, 33};
+  EXPECT_EQ(gc::ef_low_bits(36, 6), 2);
+  EXPECT_EQ(roundtrip(v, 36), v);
+}
+
+TEST(EliasFano, LowBitsFormula) {
+  EXPECT_EQ(gc::ef_low_bits(36, 6), 2);    // floor(log2(36/6)) = 2
+  EXPECT_EQ(gc::ef_low_bits(1000, 10), 6); // floor(log2 100) = 6
+  EXPECT_EQ(gc::ef_low_bits(10, 10), 0);
+  EXPECT_EQ(gc::ef_low_bits(5, 10), 0);    // universe <= n
+  EXPECT_EQ(gc::ef_low_bits(1u << 31, 1), 31);
+}
+
+TEST(EliasFano, SingleElement) {
+  for (std::uint32_t x : {0u, 1u, 1000u, 0x7FFFFFFFu}) {
+    const std::vector<std::uint32_t> v{x};
+    EXPECT_EQ(roundtrip(v, x), v);
+  }
+}
+
+TEST(EliasFano, AllZeros) {
+  const std::vector<std::uint32_t> v(64, 0);
+  EXPECT_EQ(roundtrip(v, 0), v);
+}
+
+TEST(EliasFano, DenseConsecutive) {
+  std::vector<std::uint32_t> v(128);
+  for (std::uint32_t i = 0; i < 128; ++i) v[i] = i;
+  EXPECT_EQ(roundtrip(v, 127), v);
+}
+
+TEST(EliasFano, NonDecreasingWithDuplicates) {
+  const std::vector<std::uint32_t> v{3, 3, 3, 7, 7, 100, 100, 100};
+  EXPECT_EQ(roundtrip(v, 100), v);
+}
+
+TEST(EliasFano, SizeIsTwoPlusLogUOverNBitsPerElement) {
+  // Classic EF bound: n*(2 + floor(log2(U/n))) + O(1) bits.
+  const std::uint64_t n = 1000;
+  const std::uint32_t universe = 32000;  // U/n = 32
+  const std::uint64_t bits = gc::ef_encoded_bits(universe, n);
+  const double per_elem = static_cast<double>(bits) / n;
+  EXPECT_GE(per_elem, 5.0);
+  EXPECT_LE(per_elem, 7.5);  // 2 + log2(32) = 7 plus padding
+}
+
+TEST(EliasFano, NonZeroBitPosition) {
+  const std::vector<std::uint32_t> a{1, 4, 9};
+  const std::vector<std::uint32_t> b{0, 50, 51, 1000};
+  std::vector<std::uint64_t> blob;
+  std::uint64_t pos = 0;
+  const gc::EFHeader ha = gc::ef_encode(a, 9, blob, pos);
+  const std::uint64_t b_start = pos;
+  const gc::EFHeader hb = gc::ef_encode(b, 1000, blob, pos);
+  std::vector<std::uint32_t> oa(3), ob(4);
+  gc::ef_decode(blob, 0, 3, ha, oa.data());
+  gc::ef_decode(blob, b_start, 4, hb, ob.data());
+  EXPECT_EQ(oa, a);
+  EXPECT_EQ(ob, b);
+}
+
+class EFRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(EFRandomTest, RoundTrip) {
+  const auto [size, universe] = GetParam();
+  griffin::util::Xoshiro256 rng(size ^ universe);
+  std::vector<std::uint32_t> v(size);
+  for (auto& x : v) {
+    x = static_cast<std::uint32_t>(rng.bounded(std::uint64_t{universe} + 1));
+  }
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(roundtrip(v, universe), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EFRandomTest,
+    ::testing::Combine(::testing::Values(1, 2, 31, 32, 33, 127, 128, 129, 2000),
+                       ::testing::Values(1u, 100u, 1u << 15, 1u << 26,
+                                         0x7FFFFFFFu)));

@@ -1,0 +1,143 @@
+#include "core/hybrid_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+
+using namespace griffin;
+
+TEST(HybridEngine, MatchesReferenceOnQueryLog) {
+  const auto& idx = testutil::small_index();
+  core::HybridEngine engine(idx);
+
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 60;
+  qcfg.seed = 33;
+  const auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+  for (const auto& q : log) {
+    const auto got = engine.execute(q);
+    const auto want = testutil::reference_topk(idx, q);
+    testutil::expect_same_topk(got.topk, want, "griffin");
+  }
+}
+
+TEST(HybridEngine, AgreesWithCpuAndGpuEngines) {
+  const auto& idx = testutil::small_index();
+  core::HybridEngine hybrid(idx);
+  cpu::CpuEngine cpu_engine(idx);
+  gpu::GpuEngine gpu_engine(idx);
+
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 25;
+  qcfg.seed = 34;
+  const auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+  for (const auto& q : log) {
+    const auto h = hybrid.execute(q);
+    const auto c = cpu_engine.execute(q);
+    const auto g = gpu_engine.execute(q);
+    testutil::expect_same_topk(h.topk, c.topk, "hybrid-vs-cpu");
+    testutil::expect_same_topk(h.topk, g.topk, "hybrid-vs-gpu");
+    EXPECT_EQ(h.metrics.result_count, c.metrics.result_count);
+  }
+}
+
+TEST(HybridEngine, StartsOnGpuForBalancedPair) {
+  const auto& idx = testutil::small_index();
+  core::HybridEngine engine(idx);
+  core::Query q;
+  q.terms = {10, 12};  // adjacent ranks: ratio close to 1
+  const auto res = engine.execute(q);
+  ASSERT_EQ(res.metrics.placements.size(), 1u);
+  EXPECT_EQ(res.metrics.placements[0], core::Placement::kGpu);
+}
+
+TEST(HybridEngine, StartsOnCpuForExtremeRatio) {
+  const auto& idx = testutil::small_index();
+  core::HybridEngine engine(idx);
+  core::Query q;
+  q.terms = {static_cast<index::TermId>(idx.num_terms() - 1), 0};
+  ASSERT_GT(static_cast<double>(idx.list(0).size()) /
+                static_cast<double>(idx.list(idx.num_terms() - 1).size()),
+            128.0);
+  const auto res = engine.execute(q);
+  ASSERT_EQ(res.metrics.placements.size(), 1u);
+  EXPECT_EQ(res.metrics.placements[0], core::Placement::kCpu);
+  EXPECT_EQ(res.metrics.migrations, 0u);
+}
+
+TEST(HybridEngine, MigratesGpuToCpuWhenIntermediateShrinks) {
+  const auto& idx = testutil::large_index();
+  core::HybridEngine engine(idx);
+  // Two balanced mid-size lists (GPU start) whose intersection is small,
+  // then a huge list: the ratio explodes past 128 and the query must
+  // migrate to the CPU (the paper's canonical scenario, §3.2).
+  core::Query q;
+  q.terms = {10, 11, 0};
+  const auto res = engine.execute(q);
+  ASSERT_EQ(res.metrics.placements.size(), 2u);
+  EXPECT_EQ(res.metrics.placements[0], core::Placement::kGpu);
+  EXPECT_EQ(res.metrics.placements[1], core::Placement::kCpu);
+  EXPECT_EQ(res.metrics.migrations, 1u);
+  EXPECT_GT(res.metrics.transfer.ps(), 0);
+  // Correctness preserved across the migration.
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "migrated");
+}
+
+TEST(HybridEngine, AlwaysCpuPolicyNeverTouchesGpu) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt;
+  opt.scheduler.policy = core::SchedulerPolicy::kAlwaysCpu;
+  core::HybridEngine engine(idx, {}, opt);
+  core::Query q;
+  q.terms = {5, 15, 30};
+  const auto res = engine.execute(q);
+  EXPECT_EQ(res.metrics.gpu_kernels, 0u);
+  for (const auto p : res.metrics.placements) {
+    EXPECT_EQ(p, core::Placement::kCpu);
+  }
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "always-cpu");
+}
+
+TEST(HybridEngine, CostModelPolicyIsCorrectToo) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt;
+  opt.scheduler.policy = core::SchedulerPolicy::kCostModel;
+  core::HybridEngine engine(idx, {}, opt);
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 20;
+  qcfg.seed = 35;
+  const auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+  for (const auto& q : log) {
+    const auto got = engine.execute(q);
+    const auto want = testutil::reference_topk(idx, q);
+    testutil::expect_same_topk(got.topk, want, "cost-model");
+  }
+}
+
+TEST(HybridEngine, FasterThanBothStaticEnginesOnMixedQuery) {
+  // The headline claim in miniature: a query whose early rounds favor the
+  // GPU and late rounds favor the CPU runs fastest when it can switch
+  // processors mid-query.
+  const auto& idx = testutil::large_index();
+  core::HybridEngine hybrid(idx);
+  cpu::CpuEngine cpu_engine(idx);
+  gpu::GpuEngine gpu_engine(idx);
+
+  // Balanced mid-size first pair (GPU-friendly), then a huge list at a
+  // ratio deep in CPU territory (~1400): the hybrid engine should combine
+  // the best of both.
+  core::Query q;
+  q.terms = {30, 32, 0};
+  const auto h = hybrid.execute(q);
+  const auto c = cpu_engine.execute(q);
+  const auto g = gpu_engine.execute(q);
+  EXPECT_LE(h.metrics.total.ps(),
+            static_cast<std::int64_t>(c.metrics.total.ps() * 1.05));
+  EXPECT_LE(h.metrics.total.ps(),
+            static_cast<std::int64_t>(g.metrics.total.ps() * 1.05));
+}

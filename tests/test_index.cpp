@@ -1,0 +1,88 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace gi = griffin::index;
+
+TEST(DocTable, LengthsAndAverage) {
+  gi::DocTable docs;
+  docs.resize(4);
+  docs.set_length(0, 10);
+  docs.set_length(1, 20);
+  docs.set_length(2, 30);
+  docs.set_length(3, 40);
+  EXPECT_EQ(docs.num_docs(), 4u);
+  EXPECT_DOUBLE_EQ(docs.avg_length(), 25.0);
+  EXPECT_EQ(docs.length(2), 30u);
+}
+
+TEST(InvertedIndex, AddListAndStats) {
+  gi::InvertedIndex idx(griffin::codec::Scheme::kEliasFano);
+  const std::vector<gi::DocId> a{1, 5, 9};
+  const std::vector<gi::DocId> b{2, 5};
+  const auto ta = idx.add_list(a);
+  const auto tb = idx.add_list(b, std::vector<std::uint32_t>{7, 300});
+  EXPECT_EQ(ta, 0u);
+  EXPECT_EQ(tb, 1u);
+  EXPECT_EQ(idx.num_terms(), 2u);
+  EXPECT_EQ(idx.total_postings(), 5u);
+  EXPECT_EQ(idx.list(ta).size(), 3u);
+  // Default tf is 1; explicit tf is clamped to 255.
+  EXPECT_EQ(idx.list(ta).tf_at(0), 1u);
+  EXPECT_EQ(idx.list(tb).tf_at(0), 7u);
+  EXPECT_EQ(idx.list(tb).tf_at(1), 255u);
+  EXPECT_THROW(idx.list(2), std::out_of_range);
+  EXPECT_THROW(idx.add_list(std::vector<gi::DocId>{}), std::invalid_argument);
+}
+
+TEST(InvertedIndex, CompressionRatio) {
+  gi::InvertedIndex idx(griffin::codec::Scheme::kEliasFano);
+  std::vector<gi::DocId> docs;
+  for (std::uint32_t i = 0; i < 10000; ++i) docs.push_back(i * 31);
+  idx.add_list(docs);
+  EXPECT_GT(idx.compression_ratio(), 2.0);
+  EXPECT_EQ(idx.compressed_docid_bytes(),
+            idx.list(0).docids.compressed_bytes());
+}
+
+TEST(IndexBuilder, BuildsFromDocuments) {
+  gi::IndexBuilder builder(griffin::codec::Scheme::kPForDelta);
+  using TP = std::pair<gi::TermId, std::uint32_t>;
+  const std::vector<TP> d0{{0, 2}, {1, 1}};
+  const std::vector<TP> d1{{0, 1}};
+  const std::vector<TP> d2{{1, 4}, {2, 1}};
+  builder.add_document(0, d0);
+  builder.add_document(1, d1);
+  builder.add_document(2, d2);
+
+  auto idx = builder.build();
+  EXPECT_EQ(idx.num_terms(), 3u);
+  EXPECT_EQ(idx.docs().num_docs(), 3u);
+  EXPECT_EQ(idx.docs().length(0), 3u);  // tf 2 + 1
+  EXPECT_EQ(idx.docs().length(2), 5u);
+
+  std::vector<gi::DocId> out;
+  idx.list(0).docids.decode_all(out);
+  EXPECT_EQ(out, (std::vector<gi::DocId>{0, 1}));
+  idx.list(1).docids.decode_all(out);
+  EXPECT_EQ(out, (std::vector<gi::DocId>{0, 2}));
+  EXPECT_EQ(idx.list(1).tf_at(1), 4u);
+}
+
+TEST(IndexBuilder, RejectsOutOfOrderDocs) {
+  gi::IndexBuilder builder(griffin::codec::Scheme::kEliasFano);
+  using TP = std::pair<gi::TermId, std::uint32_t>;
+  const std::vector<TP> terms{{0, 1}};
+  builder.add_document(5, terms);
+  EXPECT_THROW(builder.add_document(5, terms), std::invalid_argument);
+  EXPECT_THROW(builder.add_document(3, terms), std::invalid_argument);
+  builder.add_document(6, terms);  // forward is fine
+}
+
+TEST(IndexBuilder, RejectsGapInTermIds) {
+  gi::IndexBuilder builder(griffin::codec::Scheme::kEliasFano);
+  using TP = std::pair<gi::TermId, std::uint32_t>;
+  const std::vector<TP> terms{{3, 1}};  // terms 0..2 never appear
+  builder.add_document(0, terms);
+  EXPECT_THROW(builder.build(), std::logic_error);
+}

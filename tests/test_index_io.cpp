@@ -1,0 +1,92 @@
+#include "index/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "workload/corpus.h"
+
+using namespace griffin;
+
+namespace {
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+}  // namespace
+
+TEST(IndexIO, RoundTripPreservesEverything) {
+  workload::CorpusConfig cfg;
+  cfg.num_docs = 30'000;
+  cfg.num_terms = 40;
+  cfg.seed = 9;
+  const auto idx = workload::generate_corpus(cfg);
+
+  const std::string path = temp_path("griffin_test_index.bin");
+  index::save_index(idx, path);
+  const auto loaded = index::load_index(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.scheme(), idx.scheme());
+  EXPECT_EQ(loaded.block_size(), idx.block_size());
+  EXPECT_EQ(loaded.num_terms(), idx.num_terms());
+  EXPECT_EQ(loaded.docs().num_docs(), idx.docs().num_docs());
+  EXPECT_EQ(loaded.total_postings(), idx.total_postings());
+  EXPECT_EQ(loaded.compressed_docid_bytes(), idx.compressed_docid_bytes());
+  for (index::DocId d = 0; d < idx.docs().num_docs(); d += 997) {
+    EXPECT_EQ(loaded.docs().length(d), idx.docs().length(d));
+  }
+  for (index::TermId t = 0; t < idx.num_terms(); ++t) {
+    std::vector<index::DocId> a, b;
+    idx.list(t).docids.decode_all(a);
+    loaded.list(t).docids.decode_all(b);
+    ASSERT_EQ(a, b) << "term " << t;
+    ASSERT_EQ(loaded.list(t).freqs, idx.list(t).freqs) << "term " << t;
+  }
+}
+
+TEST(IndexIO, PForSchemeRoundTrips) {
+  workload::CorpusConfig cfg;
+  cfg.num_docs = 10'000;
+  cfg.num_terms = 10;
+  cfg.scheme = codec::Scheme::kPForDelta;
+  const auto idx = workload::generate_corpus(cfg);
+  const std::string path = temp_path("griffin_test_index_pfor.bin");
+  index::save_index(idx, path);
+  const auto loaded = index::load_index(path);
+  std::remove(path.c_str());
+  std::vector<index::DocId> a, b;
+  idx.list(3).docids.decode_all(a);
+  loaded.list(3).docids.decode_all(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(IndexIO, MissingFileThrows) {
+  EXPECT_THROW(index::load_index("/nonexistent/griffin.bin"),
+               std::runtime_error);
+}
+
+TEST(IndexIO, CorruptMagicThrows) {
+  const std::string path = temp_path("griffin_test_corrupt.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "not an index";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_THROW(index::load_index(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIO, TruncatedFileThrows) {
+  workload::CorpusConfig cfg;
+  cfg.num_docs = 5'000;
+  cfg.num_terms = 5;
+  const auto idx = workload::generate_corpus(cfg);
+  const std::string path = temp_path("griffin_test_trunc.bin");
+  index::save_index(idx, path);
+  // Truncate to half.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  EXPECT_THROW(index::load_index(path), std::runtime_error);
+  std::remove(path.c_str());
+}

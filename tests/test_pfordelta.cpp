@@ -1,0 +1,140 @@
+#include "codec/pfordelta.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gc = griffin::codec;
+
+namespace {
+std::vector<std::uint32_t> roundtrip(std::span<const std::uint32_t> values) {
+  std::vector<std::uint64_t> blob;
+  std::uint64_t pos = 0;
+  const gc::PForHeader hdr = gc::pfor_encode(values, blob, pos);
+  EXPECT_EQ(pos, gc::pfor_encoded_bits(values));
+  std::vector<std::uint32_t> out(values.size());
+  gc::pfor_decode(blob, 0, static_cast<std::uint32_t>(values.size()), hdr,
+                  out.data());
+  return out;
+}
+}  // namespace
+
+TEST(PForDelta, PaperFigure3Example) {
+  // Figure 3: docIDs (100,121,163,172,185,214,282,300,347) give d-gaps
+  // (21,42,9,13,29,68,18,47); with b=5 the exceptions are 42, 68, 47.
+  const std::vector<std::uint32_t> gaps{21, 42, 9, 13, 29, 68, 18, 47};
+  std::vector<std::uint64_t> blob;
+  std::uint64_t pos = 0;
+  const gc::PForHeader hdr = gc::pfor_encode(gaps, blob, pos);
+  // ceil(0.9 * 8) = 7 values must fit: widths are (5,6,4,4,5,7,5,6) so b=6
+  // covers 7 of 8... widths: 21->5, 42->6, 9->4, 13->4, 29->5, 68->7, 18->5,
+  // 47->6; b=5 covers 5 values, b=6 covers 7 (>= 7 needed).
+  EXPECT_EQ(hdr.b, 6);
+  EXPECT_EQ(hdr.n_exceptions, 1);  // only 68 exceeds 6 bits
+  EXPECT_EQ(hdr.first_exception, 5);
+  std::vector<std::uint32_t> out(gaps.size());
+  gc::pfor_decode(blob, 0, static_cast<std::uint32_t>(gaps.size()), hdr,
+                  out.data());
+  EXPECT_EQ(out, gaps);
+}
+
+TEST(PForDelta, ChooseBCoversNinetyPercent) {
+  // 90 small values (1 bit) + 10 large: b stays 1 and larges are exceptions.
+  std::vector<std::uint32_t> v(90, 1);
+  for (int i = 0; i < 10; ++i) v.push_back(1000);
+  EXPECT_EQ(gc::pfor_choose_b(v), 1);
+
+  // 50/50 split: b must cover the large half.
+  std::vector<std::uint32_t> w(50, 1);
+  for (int i = 0; i < 50; ++i) w.push_back(200);
+  EXPECT_EQ(gc::pfor_choose_b(w), 8);
+}
+
+TEST(PForDelta, AllValuesEqual) {
+  const std::vector<std::uint32_t> v(128, 7);
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(PForDelta, NoExceptions) {
+  std::vector<std::uint32_t> v;
+  for (std::uint32_t i = 0; i < 128; ++i) v.push_back(i % 16);
+  std::vector<std::uint64_t> blob;
+  std::uint64_t pos = 0;
+  const gc::PForHeader hdr = gc::pfor_encode(v, blob, pos);
+  EXPECT_EQ(hdr.n_exceptions, 0);
+  EXPECT_EQ(hdr.first_exception, gc::PForHeader::kNoException);
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(PForDelta, AllExceptionsForcedChain) {
+  // b = 1 from many tiny values, then huge values far apart force
+  // intermediate chain links.
+  std::vector<std::uint32_t> v(128, 0);
+  v[3] = 1u << 30;
+  v[120] = 1u << 29;  // distance 117 > 2^1-1: forced exceptions in between
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(PForDelta, SingleValue) {
+  for (std::uint32_t x : {0u, 1u, 255u, 0xFFFFFFFFu}) {
+    const std::vector<std::uint32_t> v{x};
+    EXPECT_EQ(roundtrip(v), v);
+  }
+}
+
+TEST(PForDelta, MaxValues) {
+  const std::vector<std::uint32_t> v(130, 0xFFFFFFFFu);
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(PForDelta, NonZeroBitPosition) {
+  // Encoding may start mid-stream; decode must honor the offset.
+  const std::vector<std::uint32_t> a{5, 6, 7};
+  const std::vector<std::uint32_t> b{100, 2, 300, 4};
+  std::vector<std::uint64_t> blob;
+  std::uint64_t pos = 0;
+  const gc::PForHeader ha = gc::pfor_encode(a, blob, pos);
+  const std::uint64_t b_start = pos;
+  const gc::PForHeader hb = gc::pfor_encode(b, blob, pos);
+
+  std::vector<std::uint32_t> out_a(a.size()), out_b(b.size());
+  gc::pfor_decode(blob, 0, 3, ha, out_a.data());
+  gc::pfor_decode(blob, b_start, 4, hb, out_b.data());
+  EXPECT_EQ(out_a, a);
+  EXPECT_EQ(out_b, b);
+}
+
+// Property sweep: random value distributions with varying exception rates.
+class PForRandomTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PForRandomTest, RoundTrip) {
+  const auto [size, width_bits] = GetParam();
+  griffin::util::Xoshiro256 rng(size * 131 + width_bits);
+  std::vector<std::uint32_t> v(size);
+  for (auto& x : v) {
+    // Mostly narrow values with a sprinkle of wide outliers.
+    if (rng.uniform01() < 0.12) {
+      x = static_cast<std::uint32_t>(rng());
+    } else {
+      x = static_cast<std::uint32_t>(rng.bounded(1ull << width_bits));
+    }
+  }
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PForRandomTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 127, 128, 129, 1000),
+                       ::testing::Values(1, 4, 8, 16, 27)));
+
+TEST(PForDelta, EncodedBitsMatchesEncode) {
+  griffin::util::Xoshiro256 rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint32_t> v(1 + rng.bounded(300));
+    for (auto& x : v) x = static_cast<std::uint32_t>(rng.bounded(1 << 20));
+    std::vector<std::uint64_t> blob;
+    std::uint64_t pos = 0;
+    gc::pfor_encode(v, blob, pos);
+    EXPECT_EQ(pos, gc::pfor_encoded_bits(v));
+  }
+}

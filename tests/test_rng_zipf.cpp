@@ -1,0 +1,94 @@
+#include "util/rng.h"
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace gu = griffin::util;
+
+TEST(Rng, Determinism) {
+  gu::Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  gu::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedInRange) {
+  gu::Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  gu::Xoshiro256 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.bounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kSamples / kBuckets,
+                kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, Uniform01Range) {
+  gu::Xoshiro256 rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 50000, 0.5, 0.01);
+}
+
+TEST(Zipf, RanksInRange) {
+  gu::Xoshiro256 rng(3);
+  gu::ZipfSampler z(1000, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto r = z(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 1000u);
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  gu::Xoshiro256 rng(3);
+  gu::ZipfSampler z(1, 1.2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z(rng), 1u);
+}
+
+TEST(Zipf, FrequenciesMatchPowerLaw) {
+  gu::Xoshiro256 rng(23);
+  const double s = 1.0;
+  gu::ZipfSampler z(100000, s);
+  constexpr int kSamples = 400000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kSamples; ++i) ++counts[z(rng)];
+  // P(1)/P(2) should be 2^s, P(1)/P(4) should be 4^s, within sampling noise.
+  const double c1 = counts[1];
+  ASSERT_GT(c1, 1000);
+  EXPECT_NEAR(c1 / counts[2], std::pow(2.0, s), 0.25);
+  EXPECT_NEAR(c1 / counts[4], std::pow(4.0, s), 0.6);
+}
+
+TEST(Zipf, SkewIncreasesHeadMass) {
+  gu::Xoshiro256 rng(29);
+  auto head_mass = [&](double s) {
+    gu::ZipfSampler z(10000, s);
+    int head = 0;
+    for (int i = 0; i < 50000; ++i) head += (z(rng) <= 10);
+    return head;
+  };
+  EXPECT_GT(head_mass(1.3), head_mass(0.7));
+}

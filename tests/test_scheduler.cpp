@@ -1,0 +1,93 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace griffin;
+using core::Placement;
+using core::Scheduler;
+using core::SchedulerOptions;
+using core::SchedulerPolicy;
+using core::StepShape;
+
+namespace {
+StepShape shape(std::uint64_t shorter, std::uint64_t longer,
+                std::optional<Placement> loc = std::nullopt) {
+  StepShape s;
+  s.shorter = shorter;
+  s.longer = longer;
+  s.longer_bytes = longer;  // ~1 byte/posting, fine for the estimates
+  s.current_location = loc;
+  return s;
+}
+}  // namespace
+
+TEST(Scheduler, RatioThresholdRule) {
+  Scheduler sched;  // default: ratio threshold at 128
+  EXPECT_EQ(sched.decide(shape(1000, 1000)), Placement::kGpu);
+  EXPECT_EQ(sched.decide(shape(1000, 127'000)), Placement::kGpu);
+  EXPECT_EQ(sched.decide(shape(1000, 128'000)), Placement::kCpu);
+  EXPECT_EQ(sched.decide(shape(1000, 100'000'000)), Placement::kCpu);
+}
+
+TEST(Scheduler, ThresholdIsConfigurable) {
+  SchedulerOptions opt;
+  opt.ratio_threshold = 4.0;
+  Scheduler sched(opt);
+  EXPECT_EQ(sched.decide(shape(100, 399)), Placement::kGpu);
+  EXPECT_EQ(sched.decide(shape(100, 400)), Placement::kCpu);
+}
+
+TEST(Scheduler, EmptyIntermediateGoesCpu) {
+  Scheduler sched;
+  EXPECT_EQ(sched.decide(shape(0, 1000)), Placement::kCpu);
+}
+
+TEST(Scheduler, StaticPolicies) {
+  SchedulerOptions cpu_only;
+  cpu_only.policy = SchedulerPolicy::kAlwaysCpu;
+  SchedulerOptions gpu_only;
+  gpu_only.policy = SchedulerPolicy::kAlwaysGpu;
+  EXPECT_EQ(Scheduler(cpu_only).decide(shape(10, 10)), Placement::kCpu);
+  EXPECT_EQ(Scheduler(gpu_only).decide(shape(10, 1'000'000)), Placement::kGpu);
+}
+
+TEST(Scheduler, CostModelPrefersCpuForTinySteps) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kCostModel;
+  Scheduler sched(opt);
+  // A tiny step cannot amortize kernel launches and transfers.
+  EXPECT_EQ(sched.decide(shape(50, 200)), Placement::kCpu);
+}
+
+TEST(Scheduler, CostModelPrefersGpuForBigBalancedSteps) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kCostModel;
+  Scheduler sched(opt);
+  StepShape s = shape(2'000'000, 4'000'000, Placement::kGpu);
+  s.longer_bytes = 4'000'000;  // ~1 B/posting compressed
+  EXPECT_EQ(sched.decide(s), Placement::kGpu);
+}
+
+TEST(Scheduler, CostEstimatesReflectMigration) {
+  Scheduler sched;
+  const auto gpu_stay = sched.estimate_gpu(shape(100'000, 200'000,
+                                                 Placement::kGpu));
+  const auto gpu_move = sched.estimate_gpu(shape(100'000, 200'000,
+                                                 Placement::kCpu));
+  EXPECT_LT(gpu_stay.ps(), gpu_move.ps());
+
+  const auto cpu_stay = sched.estimate_cpu(shape(100'000, 200'000,
+                                                 Placement::kCpu));
+  const auto cpu_move = sched.estimate_cpu(shape(100'000, 200'000,
+                                                 Placement::kGpu));
+  EXPECT_LT(cpu_stay.ps(), cpu_move.ps());
+}
+
+TEST(Scheduler, CpuEstimateDropsSharplyAboveSkipRatio) {
+  Scheduler sched;
+  // Same long list; shrinking the short side below the skip threshold makes
+  // the CPU estimate collapse (skip pointers avoid the decode).
+  const auto merge_regime = sched.estimate_cpu(shape(1'000'000, 2'000'000));
+  const auto skip_regime = sched.estimate_cpu(shape(2'000, 2'000'000));
+  EXPECT_LT(skip_regime.ps() * 10, merge_regime.ps());
+}

@@ -1,0 +1,106 @@
+#include "service/service_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/engine.h"
+#include "engine_test_util.h"
+
+using namespace griffin;
+
+namespace {
+
+/// Engine stub with a fixed service time per query id.
+class FixedEngine : public core::Engine {
+ public:
+  explicit FixedEngine(double ms) : ms_(ms) {}
+  core::QueryResult execute(const core::Query& q) override {
+    core::QueryResult r;
+    double ms = ms_;
+    if (!q.terms.empty() && q.terms[0] == 999) ms *= 100;  // a "long" query
+    r.metrics.total = sim::Duration::from_ms(ms);
+    return r;
+  }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double ms_;
+};
+
+std::vector<core::Query> n_queries(std::size_t n) {
+  std::vector<core::Query> qs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qs[i].id = i;
+    qs[i].terms = {0};
+  }
+  return qs;
+}
+
+}  // namespace
+
+TEST(ServiceSim, LightLoadResponseEqualsService) {
+  FixedEngine engine(1.0);  // 1 ms service
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 10.0;  // 100 ms between arrivals: no queueing
+  const auto res = service::run_service(engine, n_queries(500), cfg);
+  EXPECT_NEAR(res.response_ms.mean(), res.service_ms.mean(), 0.05);
+  EXPECT_LT(res.utilization, 0.05);
+}
+
+TEST(ServiceSim, HeavyLoadAddsQueueingDelay) {
+  FixedEngine engine(1.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 900.0;  // rho = 0.9: significant queueing
+  const auto res = service::run_service(engine, n_queries(2000), cfg);
+  EXPECT_GT(res.response_ms.mean(), res.service_ms.mean() * 2.0);
+  EXPECT_GT(res.utilization, 0.7);
+  EXPECT_GT(res.max_queue_depth, 2u);
+}
+
+TEST(ServiceSim, OverloadUtilizationSaturates) {
+  FixedEngine engine(1.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 5000.0;  // rho = 5: unstable queue
+  const auto res = service::run_service(engine, n_queries(1000), cfg);
+  EXPECT_GT(res.utilization, 0.95);
+  // Response time is dominated by waiting behind the backlog.
+  EXPECT_GT(res.response_ms.percentile(99),
+            res.service_ms.percentile(99) * 10.0);
+}
+
+TEST(ServiceSim, LongQueriesInflateOthersTails) {
+  // Head-of-line blocking: one 100 ms query in a stream of 1 ms queries
+  // inflates the tail of the *response* distribution, not the service one.
+  FixedEngine engine(1.0);
+  auto queries = n_queries(1000);
+  queries[300].terms = {999};
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 500.0;
+  const auto res = service::run_service(engine, queries, cfg);
+  EXPECT_GT(res.response_ms.percentile(99.9), 50.0);
+  EXPECT_LE(res.service_ms.percentile(90), 1.1);
+}
+
+TEST(ServiceSim, DeterministicPerSeed) {
+  FixedEngine engine(2.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 400.0;
+  const auto a = service::run_service(engine, n_queries(300), cfg);
+  const auto b = service::run_service(engine, n_queries(300), cfg);
+  EXPECT_DOUBLE_EQ(a.response_ms.mean(), b.response_ms.mean());
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(ServiceSim, WorksWithRealEngines) {
+  const auto& idx = testutil::small_index();
+  cpu::CpuEngine engine(idx);
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 40;
+  qcfg.seed = 50;
+  const auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 2000.0;
+  const auto res = service::run_service(engine, log, cfg);
+  EXPECT_EQ(res.response_ms.count(), log.size());
+  EXPECT_GT(res.utilization, 0.0);
+}

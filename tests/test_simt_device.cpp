@@ -1,0 +1,74 @@
+#include "simt/device.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gs = griffin::simt;
+
+TEST(Device, AllocTracksUsage) {
+  gs::Device dev({}, 1 << 20);
+  EXPECT_EQ(dev.used(), 0u);
+  auto a = dev.alloc<std::uint32_t>(1000);
+  EXPECT_EQ(dev.used(), 4000u);
+  EXPECT_EQ(dev.alloc_count(), 1u);
+  {
+    auto b = dev.alloc<std::uint64_t>(100);
+    EXPECT_EQ(dev.used(), 4800u);
+  }
+  // RAII: freed when the buffer dies.
+  EXPECT_EQ(dev.used(), 4000u);
+}
+
+TEST(Device, OutOfMemoryThrows) {
+  gs::Device dev({}, 1024);
+  auto a = dev.alloc<std::uint8_t>(1000);
+  EXPECT_THROW(dev.alloc<std::uint8_t>(100), gs::DeviceOutOfMemory);
+  // And the failed allocation did not leak accounting.
+  EXPECT_EQ(dev.used(), 1000u);
+}
+
+TEST(Device, UploadDownloadRoundTrip) {
+  gs::Device dev;
+  std::vector<std::uint32_t> host(257);
+  std::iota(host.begin(), host.end(), 100);
+  auto buf = dev.alloc<std::uint32_t>(host.size());
+  dev.upload(buf, std::span<const std::uint32_t>(host));
+
+  std::vector<std::uint32_t> back(host.size(), 0);
+  dev.download(std::span<std::uint32_t>(back), buf);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(dev.h2d_bytes(), host.size() * 4);
+  EXPECT_EQ(dev.d2h_bytes(), host.size() * 4);
+}
+
+TEST(Device, PartialCopiesWithOffsets) {
+  gs::Device dev;
+  auto buf = dev.alloc<std::uint32_t>(100);
+  const std::vector<std::uint32_t> part{7, 8, 9};
+  dev.upload(buf, std::span<const std::uint32_t>(part), 50);
+  std::vector<std::uint32_t> back(3, 0);
+  dev.download(std::span<std::uint32_t>(back), buf, 50);
+  EXPECT_EQ(back, part);
+}
+
+TEST(Device, DistinctBuffersGetDistinctAddresses) {
+  gs::Device dev;
+  auto a = dev.alloc<std::uint32_t>(64);
+  auto b = dev.alloc<std::uint32_t>(64);
+  // Address ranges must not overlap (the coalescing analyzer relies on it).
+  const auto a_end = a.device_addr(63) + 4;
+  EXPECT_LE(a_end, b.device_addr(0));
+}
+
+TEST(Device, MoveSemantics) {
+  gs::Device dev({}, 1 << 20);
+  auto a = dev.alloc<std::uint32_t>(100);
+  const auto addr = a.device_addr(0);
+  gs::DeviceBuffer<std::uint32_t> b = std::move(a);
+  EXPECT_EQ(b.device_addr(0), addr);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(dev.used(), 400u);
+  b = gs::DeviceBuffer<std::uint32_t>();
+  EXPECT_EQ(dev.used(), 0u);
+}

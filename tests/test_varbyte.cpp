@@ -1,0 +1,56 @@
+#include "codec/varbyte.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gc = griffin::codec;
+
+TEST(VarByte, KnownEncodings) {
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(gc::vbyte_encode_one(0, out), 1u);
+  EXPECT_EQ(out.back(), 0);
+  out.clear();
+  EXPECT_EQ(gc::vbyte_encode_one(127, out), 1u);
+  EXPECT_EQ(out.back(), 127);
+  out.clear();
+  EXPECT_EQ(gc::vbyte_encode_one(128, out), 2u);
+  EXPECT_EQ(out[0], 0x80u);
+  EXPECT_EQ(out[1], 0x01u);
+  out.clear();
+  EXPECT_EQ(gc::vbyte_encode_one(0xFFFFFFFFu, out), 5u);
+}
+
+TEST(VarByte, SizeFormula) {
+  const std::vector<std::uint32_t> v{0, 127, 128, 16383, 16384, 0xFFFFFFFFu};
+  EXPECT_EQ(gc::vbyte_encoded_bytes(v), 1u + 1 + 2 + 2 + 3 + 5);
+  EXPECT_EQ(gc::vbyte_encode(v).size(), gc::vbyte_encoded_bytes(v));
+}
+
+TEST(VarByte, RoundTripRandom) {
+  griffin::util::Xoshiro256 rng(55);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint32_t> v(1 + rng.bounded(500));
+    for (auto& x : v) {
+      // Mix of magnitudes so all byte lengths are exercised.
+      const int shift = static_cast<int>(rng.bounded(32));
+      x = static_cast<std::uint32_t>(rng() >> shift);
+    }
+    const auto bytes = gc::vbyte_encode(v);
+    std::vector<std::uint32_t> out(v.size());
+    gc::vbyte_decode(bytes, static_cast<std::uint32_t>(v.size()), out.data());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(VarByte, DecodeOneAdvancesPosition) {
+  const std::vector<std::uint32_t> v{5, 300, 70000};
+  const auto bytes = gc::vbyte_encode(v);
+  std::size_t pos = 0;
+  EXPECT_EQ(gc::vbyte_decode_one(bytes, pos), 5u);
+  EXPECT_EQ(pos, 1u);
+  EXPECT_EQ(gc::vbyte_decode_one(bytes, pos), 300u);
+  EXPECT_EQ(pos, 3u);
+  EXPECT_EQ(gc::vbyte_decode_one(bytes, pos), 70000u);
+  EXPECT_EQ(pos, bytes.size());
+}
