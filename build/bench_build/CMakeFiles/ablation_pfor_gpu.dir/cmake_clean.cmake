@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pfor_gpu"
+  "../bench/ablation_pfor_gpu.pdb"
+  "CMakeFiles/ablation_pfor_gpu.dir/ablation_pfor_gpu.cpp.o"
+  "CMakeFiles/ablation_pfor_gpu.dir/ablation_pfor_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pfor_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_threshold.cpp" "bench_build/CMakeFiles/ablation_threshold.dir/ablation_threshold.cpp.o" "gcc" "bench_build/CMakeFiles/ablation_threshold.dir/ablation_threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/griffin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/griffin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/griffin_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/griffin_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/griffin_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/griffin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/griffin_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/griffin_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/griffin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

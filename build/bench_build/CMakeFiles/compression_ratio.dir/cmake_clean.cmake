@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/compression_ratio"
+  "../bench/compression_ratio.pdb"
+  "CMakeFiles/compression_ratio.dir/compression_ratio.cpp.o"
+  "CMakeFiles/compression_ratio.dir/compression_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

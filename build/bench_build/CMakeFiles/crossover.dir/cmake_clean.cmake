@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/crossover"
+  "../bench/crossover.pdb"
+  "CMakeFiles/crossover.dir/crossover.cpp.o"
+  "CMakeFiles/crossover.dir/crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

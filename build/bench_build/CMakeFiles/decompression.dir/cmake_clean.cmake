@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/decompression"
+  "../bench/decompression.pdb"
+  "CMakeFiles/decompression.dir/decompression.cpp.o"
+  "CMakeFiles/decompression.dir/decompression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

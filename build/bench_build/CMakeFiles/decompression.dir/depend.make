@@ -1,0 +1,2 @@
+# Empty dependencies file for decompression.
+# This may be replaced when dependencies are built.

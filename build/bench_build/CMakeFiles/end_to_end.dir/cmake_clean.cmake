@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/end_to_end"
+  "../bench/end_to_end.pdb"
+  "CMakeFiles/end_to_end.dir/end_to_end.cpp.o"
+  "CMakeFiles/end_to_end.dir/end_to_end.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

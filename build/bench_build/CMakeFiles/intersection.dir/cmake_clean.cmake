@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/intersection"
+  "../bench/intersection.pdb"
+  "CMakeFiles/intersection.dir/intersection.cpp.o"
+  "CMakeFiles/intersection.dir/intersection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ranking_selection"
+  "../bench/ranking_selection.pdb"
+  "CMakeFiles/ranking_selection.dir/ranking_selection.cpp.o"
+  "CMakeFiles/ranking_selection.dir/ranking_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/service_load"
+  "../bench/service_load.pdb"
+  "CMakeFiles/service_load.dir/service_load.cpp.o"
+  "CMakeFiles/service_load.dir/service_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/enterprise_search"
+  "../examples/enterprise_search.pdb"
+  "CMakeFiles/enterprise_search.dir/enterprise_search.cpp.o"
+  "CMakeFiles/enterprise_search.dir/enterprise_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/scheduler_tour"
+  "../examples/scheduler_tour.pdb"
+  "CMakeFiles/scheduler_tour.dir/scheduler_tour.cpp.o"
+  "CMakeFiles/scheduler_tour.dir/scheduler_tour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

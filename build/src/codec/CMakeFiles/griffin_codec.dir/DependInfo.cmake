@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/block_codec.cpp" "src/codec/CMakeFiles/griffin_codec.dir/block_codec.cpp.o" "gcc" "src/codec/CMakeFiles/griffin_codec.dir/block_codec.cpp.o.d"
+  "/root/repo/src/codec/eliasfano.cpp" "src/codec/CMakeFiles/griffin_codec.dir/eliasfano.cpp.o" "gcc" "src/codec/CMakeFiles/griffin_codec.dir/eliasfano.cpp.o.d"
+  "/root/repo/src/codec/pfordelta.cpp" "src/codec/CMakeFiles/griffin_codec.dir/pfordelta.cpp.o" "gcc" "src/codec/CMakeFiles/griffin_codec.dir/pfordelta.cpp.o.d"
+  "/root/repo/src/codec/simple16.cpp" "src/codec/CMakeFiles/griffin_codec.dir/simple16.cpp.o" "gcc" "src/codec/CMakeFiles/griffin_codec.dir/simple16.cpp.o.d"
+  "/root/repo/src/codec/varbyte.cpp" "src/codec/CMakeFiles/griffin_codec.dir/varbyte.cpp.o" "gcc" "src/codec/CMakeFiles/griffin_codec.dir/varbyte.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/griffin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

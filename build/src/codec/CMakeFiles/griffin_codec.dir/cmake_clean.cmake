@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_codec.dir/block_codec.cpp.o"
+  "CMakeFiles/griffin_codec.dir/block_codec.cpp.o.d"
+  "CMakeFiles/griffin_codec.dir/eliasfano.cpp.o"
+  "CMakeFiles/griffin_codec.dir/eliasfano.cpp.o.d"
+  "CMakeFiles/griffin_codec.dir/pfordelta.cpp.o"
+  "CMakeFiles/griffin_codec.dir/pfordelta.cpp.o.d"
+  "CMakeFiles/griffin_codec.dir/simple16.cpp.o"
+  "CMakeFiles/griffin_codec.dir/simple16.cpp.o.d"
+  "CMakeFiles/griffin_codec.dir/varbyte.cpp.o"
+  "CMakeFiles/griffin_codec.dir/varbyte.cpp.o.d"
+  "libgriffin_codec.a"
+  "libgriffin_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

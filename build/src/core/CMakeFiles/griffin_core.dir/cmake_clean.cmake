@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_core.dir/hybrid_engine.cpp.o"
+  "CMakeFiles/griffin_core.dir/hybrid_engine.cpp.o.d"
+  "CMakeFiles/griffin_core.dir/scheduler.cpp.o"
+  "CMakeFiles/griffin_core.dir/scheduler.cpp.o.d"
+  "libgriffin_core.a"
+  "libgriffin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

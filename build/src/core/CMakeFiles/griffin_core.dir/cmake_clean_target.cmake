@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgriffin_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/bm25.cpp" "src/cpu/CMakeFiles/griffin_cpu.dir/bm25.cpp.o" "gcc" "src/cpu/CMakeFiles/griffin_cpu.dir/bm25.cpp.o.d"
+  "/root/repo/src/cpu/decode.cpp" "src/cpu/CMakeFiles/griffin_cpu.dir/decode.cpp.o" "gcc" "src/cpu/CMakeFiles/griffin_cpu.dir/decode.cpp.o.d"
+  "/root/repo/src/cpu/engine.cpp" "src/cpu/CMakeFiles/griffin_cpu.dir/engine.cpp.o" "gcc" "src/cpu/CMakeFiles/griffin_cpu.dir/engine.cpp.o.d"
+  "/root/repo/src/cpu/intersect.cpp" "src/cpu/CMakeFiles/griffin_cpu.dir/intersect.cpp.o" "gcc" "src/cpu/CMakeFiles/griffin_cpu.dir/intersect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/griffin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/griffin_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/griffin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_cpu.dir/bm25.cpp.o"
+  "CMakeFiles/griffin_cpu.dir/bm25.cpp.o.d"
+  "CMakeFiles/griffin_cpu.dir/decode.cpp.o"
+  "CMakeFiles/griffin_cpu.dir/decode.cpp.o.d"
+  "CMakeFiles/griffin_cpu.dir/engine.cpp.o"
+  "CMakeFiles/griffin_cpu.dir/engine.cpp.o.d"
+  "CMakeFiles/griffin_cpu.dir/intersect.cpp.o"
+  "CMakeFiles/griffin_cpu.dir/intersect.cpp.o.d"
+  "libgriffin_cpu.a"
+  "libgriffin_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

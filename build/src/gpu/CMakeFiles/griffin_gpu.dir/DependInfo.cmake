@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/binary_intersect.cpp" "src/gpu/CMakeFiles/griffin_gpu.dir/binary_intersect.cpp.o" "gcc" "src/gpu/CMakeFiles/griffin_gpu.dir/binary_intersect.cpp.o.d"
+  "/root/repo/src/gpu/compact.cpp" "src/gpu/CMakeFiles/griffin_gpu.dir/compact.cpp.o" "gcc" "src/gpu/CMakeFiles/griffin_gpu.dir/compact.cpp.o.d"
+  "/root/repo/src/gpu/device_list.cpp" "src/gpu/CMakeFiles/griffin_gpu.dir/device_list.cpp.o" "gcc" "src/gpu/CMakeFiles/griffin_gpu.dir/device_list.cpp.o.d"
+  "/root/repo/src/gpu/ef_decode.cpp" "src/gpu/CMakeFiles/griffin_gpu.dir/ef_decode.cpp.o" "gcc" "src/gpu/CMakeFiles/griffin_gpu.dir/ef_decode.cpp.o.d"
+  "/root/repo/src/gpu/engine.cpp" "src/gpu/CMakeFiles/griffin_gpu.dir/engine.cpp.o" "gcc" "src/gpu/CMakeFiles/griffin_gpu.dir/engine.cpp.o.d"
+  "/root/repo/src/gpu/mergepath.cpp" "src/gpu/CMakeFiles/griffin_gpu.dir/mergepath.cpp.o" "gcc" "src/gpu/CMakeFiles/griffin_gpu.dir/mergepath.cpp.o.d"
+  "/root/repo/src/gpu/pfor_decode.cpp" "src/gpu/CMakeFiles/griffin_gpu.dir/pfor_decode.cpp.o" "gcc" "src/gpu/CMakeFiles/griffin_gpu.dir/pfor_decode.cpp.o.d"
+  "/root/repo/src/gpu/sort.cpp" "src/gpu/CMakeFiles/griffin_gpu.dir/sort.cpp.o" "gcc" "src/gpu/CMakeFiles/griffin_gpu.dir/sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/griffin_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/griffin_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/griffin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/griffin_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/griffin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

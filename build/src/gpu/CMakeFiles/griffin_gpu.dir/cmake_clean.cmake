@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_gpu.dir/binary_intersect.cpp.o"
+  "CMakeFiles/griffin_gpu.dir/binary_intersect.cpp.o.d"
+  "CMakeFiles/griffin_gpu.dir/compact.cpp.o"
+  "CMakeFiles/griffin_gpu.dir/compact.cpp.o.d"
+  "CMakeFiles/griffin_gpu.dir/device_list.cpp.o"
+  "CMakeFiles/griffin_gpu.dir/device_list.cpp.o.d"
+  "CMakeFiles/griffin_gpu.dir/ef_decode.cpp.o"
+  "CMakeFiles/griffin_gpu.dir/ef_decode.cpp.o.d"
+  "CMakeFiles/griffin_gpu.dir/engine.cpp.o"
+  "CMakeFiles/griffin_gpu.dir/engine.cpp.o.d"
+  "CMakeFiles/griffin_gpu.dir/mergepath.cpp.o"
+  "CMakeFiles/griffin_gpu.dir/mergepath.cpp.o.d"
+  "CMakeFiles/griffin_gpu.dir/pfor_decode.cpp.o"
+  "CMakeFiles/griffin_gpu.dir/pfor_decode.cpp.o.d"
+  "CMakeFiles/griffin_gpu.dir/sort.cpp.o"
+  "CMakeFiles/griffin_gpu.dir/sort.cpp.o.d"
+  "libgriffin_gpu.a"
+  "libgriffin_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/dictionary.cpp" "src/index/CMakeFiles/griffin_index.dir/dictionary.cpp.o" "gcc" "src/index/CMakeFiles/griffin_index.dir/dictionary.cpp.o.d"
+  "/root/repo/src/index/inverted_index.cpp" "src/index/CMakeFiles/griffin_index.dir/inverted_index.cpp.o" "gcc" "src/index/CMakeFiles/griffin_index.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/index/io.cpp" "src/index/CMakeFiles/griffin_index.dir/io.cpp.o" "gcc" "src/index/CMakeFiles/griffin_index.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/griffin_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/griffin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_index.dir/dictionary.cpp.o"
+  "CMakeFiles/griffin_index.dir/dictionary.cpp.o.d"
+  "CMakeFiles/griffin_index.dir/inverted_index.cpp.o"
+  "CMakeFiles/griffin_index.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/griffin_index.dir/io.cpp.o"
+  "CMakeFiles/griffin_index.dir/io.cpp.o.d"
+  "libgriffin_index.a"
+  "libgriffin_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_service.dir/service_sim.cpp.o"
+  "CMakeFiles/griffin_service.dir/service_sim.cpp.o.d"
+  "libgriffin_service.a"
+  "libgriffin_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_simt.dir/collectives.cpp.o"
+  "CMakeFiles/griffin_simt.dir/collectives.cpp.o.d"
+  "CMakeFiles/griffin_simt.dir/kernel.cpp.o"
+  "CMakeFiles/griffin_simt.dir/kernel.cpp.o.d"
+  "libgriffin_simt.a"
+  "libgriffin_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

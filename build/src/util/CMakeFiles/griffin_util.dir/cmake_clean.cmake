@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_util.dir/stats.cpp.o"
+  "CMakeFiles/griffin_util.dir/stats.cpp.o.d"
+  "CMakeFiles/griffin_util.dir/zipf.cpp.o"
+  "CMakeFiles/griffin_util.dir/zipf.cpp.o.d"
+  "libgriffin_util.a"
+  "libgriffin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griffin_workload.dir/corpus.cpp.o"
+  "CMakeFiles/griffin_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/griffin_workload.dir/querylog.cpp.o"
+  "CMakeFiles/griffin_workload.dir/querylog.cpp.o.d"
+  "libgriffin_workload.a"
+  "libgriffin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griffin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bm25_topk.dir/test_bm25_topk.cpp.o"
+  "CMakeFiles/test_bm25_topk.dir/test_bm25_topk.cpp.o.d"
+  "test_bm25_topk"
+  "test_bm25_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bm25_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

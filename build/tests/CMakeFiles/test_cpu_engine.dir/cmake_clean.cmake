@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_engine.dir/test_cpu_engine.cpp.o"
+  "CMakeFiles/test_cpu_engine.dir/test_cpu_engine.cpp.o.d"
+  "test_cpu_engine"
+  "test_cpu_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_intersect.dir/test_cpu_intersect.cpp.o"
+  "CMakeFiles/test_cpu_intersect.dir/test_cpu_intersect.cpp.o.d"
+  "test_cpu_intersect"
+  "test_cpu_intersect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_intersect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

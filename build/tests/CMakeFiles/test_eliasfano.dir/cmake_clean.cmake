@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eliasfano.dir/test_eliasfano.cpp.o"
+  "CMakeFiles/test_eliasfano.dir/test_eliasfano.cpp.o.d"
+  "test_eliasfano"
+  "test_eliasfano.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eliasfano.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_binary_intersect.dir/test_gpu_binary_intersect.cpp.o"
+  "CMakeFiles/test_gpu_binary_intersect.dir/test_gpu_binary_intersect.cpp.o.d"
+  "test_gpu_binary_intersect"
+  "test_gpu_binary_intersect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_binary_intersect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_ef_decode.dir/test_gpu_ef_decode.cpp.o"
+  "CMakeFiles/test_gpu_ef_decode.dir/test_gpu_ef_decode.cpp.o.d"
+  "test_gpu_ef_decode"
+  "test_gpu_ef_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_ef_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_mergepath.dir/test_gpu_mergepath.cpp.o"
+  "CMakeFiles/test_gpu_mergepath.dir/test_gpu_mergepath.cpp.o.d"
+  "test_gpu_mergepath"
+  "test_gpu_mergepath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_mergepath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_sort.dir/test_gpu_sort.cpp.o"
+  "CMakeFiles/test_gpu_sort.dir/test_gpu_sort.cpp.o.d"
+  "test_gpu_sort"
+  "test_gpu_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

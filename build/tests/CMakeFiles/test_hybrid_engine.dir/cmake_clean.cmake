@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_engine.dir/test_hybrid_engine.cpp.o"
+  "CMakeFiles/test_hybrid_engine.dir/test_hybrid_engine.cpp.o.d"
+  "test_hybrid_engine"
+  "test_hybrid_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfordelta.dir/test_pfordelta.cpp.o"
+  "CMakeFiles/test_pfordelta.dir/test_pfordelta.cpp.o.d"
+  "test_pfordelta"
+  "test_pfordelta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfordelta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_zipf.dir/test_rng_zipf.cpp.o"
+  "CMakeFiles/test_rng_zipf.dir/test_rng_zipf.cpp.o.d"
+  "test_rng_zipf"
+  "test_rng_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

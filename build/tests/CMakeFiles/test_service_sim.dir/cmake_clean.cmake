@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_sim.dir/test_service_sim.cpp.o"
+  "CMakeFiles/test_service_sim.dir/test_service_sim.cpp.o.d"
+  "test_service_sim"
+  "test_service_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simple16.dir/test_simple16.cpp.o"
+  "CMakeFiles/test_simple16.dir/test_simple16.cpp.o.d"
+  "test_simple16"
+  "test_simple16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simple16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

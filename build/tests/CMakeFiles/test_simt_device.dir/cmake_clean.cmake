@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_device.dir/test_simt_device.cpp.o"
+  "CMakeFiles/test_simt_device.dir/test_simt_device.cpp.o.d"
+  "test_simt_device"
+  "test_simt_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

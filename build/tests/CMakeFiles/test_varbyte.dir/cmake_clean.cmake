@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_varbyte.dir/test_varbyte.cpp.o"
+  "CMakeFiles/test_varbyte.dir/test_varbyte.cpp.o.d"
+  "test_varbyte"
+  "test_varbyte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_varbyte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
