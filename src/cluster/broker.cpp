@@ -1,0 +1,153 @@
+#include "cluster/broker.h"
+
+#include <algorithm>
+
+#include "service/queueing.h"
+
+namespace griffin::cluster {
+
+ClusterBroker::ClusterBroker(const index::InvertedIndex& full,
+                             ClusterConfig cfg, sim::HardwareSpec hw,
+                             core::HybridOptions opt)
+    : cfg_(cfg) {
+  const auto doc_shard =
+      assign_docs(cfg.partition, full.docs().num_docs(), cfg.num_shards);
+  auto shards = index::extract_shards(full, doc_shard, cfg.num_shards);
+  nodes_.reserve(shards.size());
+  for (auto& s : shards) {
+    nodes_.push_back(std::make_unique<ShardNode>(std::move(s), hw, opt));
+  }
+}
+
+std::vector<core::ScoredDoc> merge_topk(
+    std::span<const std::vector<core::ScoredDoc>> parts, std::uint32_t k) {
+  std::vector<core::ScoredDoc> all;
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  all.reserve(total);
+  for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+
+  const std::size_t kk = std::min<std::size_t>(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + kk, all.end(),
+                    [](const core::ScoredDoc& a, const core::ScoredDoc& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  all.resize(kk);
+  return all;
+}
+
+core::QueryResult ClusterBroker::execute(const core::Query& q) {
+  std::vector<std::vector<core::ScoredDoc>> parts;
+  parts.reserve(nodes_.size());
+  core::QueryResult out;
+  sim::Duration slowest;
+  for (auto& node : nodes_) {
+    core::QueryResult part = node->execute(q);
+    slowest = sim::max(slowest, part.metrics.total);
+    out.metrics.result_count += part.metrics.result_count;
+    out.metrics.gpu_kernels += part.metrics.gpu_kernels;
+    out.metrics.migrations += part.metrics.migrations;
+    parts.push_back(std::move(part.topk));
+  }
+  out.topk = merge_topk(parts, q.k);
+  out.metrics.total =
+      slowest + cfg_.net_rtt + cfg_.merge_per_shard * double(nodes_.size());
+  return out;
+}
+
+ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
+  ClusterResult res;
+  service::PoissonArrivals arrivals(cfg_.arrival_qps, cfg_.seed);
+  util::Xoshiro256 straggler_rng(cfg_.seed ^ 0x5741474c45525353ULL);
+  ResultCache cache(cfg_.cache_capacity);
+  HedgeController hedge(cfg_.hedge);
+  std::vector<service::QueueDepthTracker> depth(nodes_.size());
+  // Per-run replica queues (replica 0 = primary): runs are independent and
+  // a broker can replay any number of streams back to back.
+  const std::uint32_t replicas = std::max(cfg_.replicas_per_shard, 1u);
+  std::vector<std::vector<service::FcfsServer>> servers(
+      nodes_.size(), std::vector<service::FcfsServer>(replicas));
+
+  const sim::Duration half_rtt = cfg_.net_rtt * 0.5;
+  const bool can_hedge = replicas >= 2;
+
+  std::vector<std::vector<core::ScoredDoc>> parts(nodes_.size());
+
+  for (const auto& q : queries) {
+    const sim::Duration t_arrival = arrivals.next();
+
+    const CacheKey key = make_cache_key(q);
+    if (cfg_.cache_capacity > 0) {
+      if (cache.lookup(key) != nullptr) {
+        const sim::Duration done = t_arrival + cfg_.cache_hit_latency;
+        res.response_ms.add((done - t_arrival).ms());
+        res.horizon = sim::max(res.horizon, done);
+        ++res.cache_hits_served;
+        continue;
+      }
+    }
+
+    // Scatter: the query reaches every shard half an RTT after arrival and
+    // queues behind that shard's primary backlog.
+    sim::Duration critical;  // slowest shard response, broker-side clock
+    for (std::uint32_t s = 0; s < nodes_.size(); ++s) {
+      ShardNode& node = *nodes_[s];
+      const sim::Duration t_shard = t_arrival + half_rtt;
+
+      core::QueryResult part = node.execute(q);
+      parts[s] = std::move(part.topk);
+      sim::Duration svc = part.metrics.total;
+      sim::Duration svc_primary = svc;
+      if (cfg_.straggler.probability > 0.0 &&
+          straggler_rng.uniform01() < cfg_.straggler.probability) {
+        svc_primary = svc * cfg_.straggler.slowdown;
+      }
+
+      const service::Completion primary =
+          servers[s][0].submit(t_shard, svc_primary);
+      depth[s].observe(t_shard, primary.done);
+      sim::Duration responded = primary.done;
+
+      // Hedge: the broker's timer fires delay after the scatter reached the
+      // shard; if the primary still owes a reply, the replica gets a copy.
+      if (can_hedge) {
+        if (const auto delay = hedge.delay();
+            delay && primary.done > t_shard + *delay) {
+          const sim::Duration t_hedge = t_shard + *delay;
+          const service::Completion hedged =
+              servers[s][1].submit(t_hedge, svc);
+          ++res.hedge.issued;
+          if (hedged.done < primary.done) ++res.hedge.won;
+          responded = sim::min(responded, hedged.done);
+        }
+      }
+
+      hedge.record(responded - t_shard);
+      critical = sim::max(critical, responded - t_shard);
+    }
+
+    // Gather: all shard replies are back half an RTT after the slowest
+    // responded; merging costs a per-shard charge at the broker.
+    const sim::Duration done =
+        t_arrival + half_rtt + critical + half_rtt +
+        cfg_.merge_per_shard * double(nodes_.size());
+    res.response_ms.add((done - t_arrival).ms());
+    res.shard_critical_ms.add(critical.ms());
+    res.horizon = sim::max(res.horizon, done);
+
+    if (cfg_.cache_capacity > 0) {
+      cache.insert(key, merge_topk(parts, q.k));
+    }
+  }
+
+  for (std::uint32_t s = 0; s < nodes_.size(); ++s) {
+    res.shard_utilization.push_back(servers[s][0].utilization(res.horizon));
+    res.max_queue_depth =
+        std::max(res.max_queue_depth, depth[s].max_depth());
+  }
+  res.cache = cache.stats();
+  return res;
+}
+
+}  // namespace griffin::cluster

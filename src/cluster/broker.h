@@ -1,0 +1,115 @@
+// The scatter-gather broker: the serving layer that turns N single-node
+// Griffin engines into one cluster. A query arrives at the broker, which
+//
+//   1. consults the LRU result cache (result_cache.h) — a hit answers in
+//      cache_hit_latency without touching any shard;
+//   2. on a miss, scatters the query to every shard (one network half-RTT
+//      out), where it queues FCFS behind that shard's backlog;
+//   3. optionally *hedges*: when a shard has not answered within the
+//      adaptive percentile delay (hedging.h), the same query is re-issued
+//      to that shard's replica and the first response wins;
+//   4. gathers the per-shard top-k heaps (half-RTT back) and merges them
+//      into the global top-k — exactly the result the unpartitioned engine
+//      would return, because document partitioning decomposes conjunctive
+//      queries losslessly and shards score with global statistics
+//      (index/shard.h).
+//
+// Everything runs in the repository's simulated clock: service times come
+// from the deterministic engines, queueing from service/queueing.h, and all
+// randomness (arrivals, straggler injection) is seeded — a run is exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/hedging.h"
+#include "cluster/partitioner.h"
+#include "cluster/result_cache.h"
+#include "cluster/shard_node.h"
+#include "core/hybrid_engine.h"
+#include "service/service_sim.h"
+
+namespace griffin::cluster {
+
+/// Deterministic slow-node injection: with `probability` per (query, shard),
+/// the *primary* replica's service time is multiplied by `slowdown` (a GC
+/// pause, a flaky disk, a noisy neighbor). The hedge replica is a different
+/// machine and runs at normal speed — the scenario hedging exists for.
+struct StragglerConfig {
+  double probability = 0.0;
+  double slowdown = 10.0;
+};
+
+struct ClusterConfig {
+  std::uint32_t num_shards = 4;
+  PartitionStrategy partition = PartitionStrategy::kRoundRobin;
+  /// Replicas per shard; hedging needs >= 2 (the second queue).
+  std::uint32_t replicas_per_shard = 2;
+  HedgeConfig hedge;
+  /// Result-cache entries at the broker; 0 disables caching.
+  std::size_t cache_capacity = 0;
+  sim::Duration cache_hit_latency = sim::Duration::from_us(5);
+  /// Broker <-> shard round trip (intra-datacenter).
+  sim::Duration net_rtt = sim::Duration::from_us(200);
+  /// Gather-merge cost charged per participating shard.
+  sim::Duration merge_per_shard = sim::Duration::from_us(3);
+  double arrival_qps = 200.0;
+  StragglerConfig straggler;
+  std::uint64_t seed = 1;
+};
+
+struct ClusterResult {
+  util::PercentileTracker response_ms;  ///< arrival -> merged answer
+  /// Critical-path shard time per cache-missing query: max over shards of
+  /// (queueing + service) as the broker observes it.
+  util::PercentileTracker shard_critical_ms;
+  CacheStats cache;
+  HedgeStats hedge;
+  std::vector<double> shard_utilization;  ///< primary replica, per shard
+  std::uint64_t max_queue_depth = 0;      ///< across primary replicas
+  std::uint64_t cache_hits_served = 0;
+  sim::Duration horizon;  ///< last event in the run
+
+  double mean_response_ms() const { return response_ms.mean(); }
+};
+
+class ClusterBroker {
+ public:
+  /// Partitions `full` into cfg.num_shards document shards and stands up
+  /// one ShardNode per shard. `full` is only read during construction.
+  ClusterBroker(const index::InvertedIndex& full, ClusterConfig cfg,
+                sim::HardwareSpec hw = {}, core::HybridOptions opt = {});
+
+  /// Untimed scatter-gather: executes on every shard and merges. Returns
+  /// the exact global top-k (the equivalence the cluster tests sweep).
+  /// Metrics model the parallel fan-out: total = slowest shard + merge.
+  core::QueryResult execute(const core::Query& q);
+
+  /// Timed replay of a query stream: Poisson arrivals, per-replica FCFS
+  /// queues, hedging, and the result cache, all in simulated time. Queue,
+  /// cache, and hedge state live inside the call — runs are independent,
+  /// so the same broker can replay any number of streams deterministically.
+  ClusterResult run(const std::vector<core::Query>& queries);
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  ShardNode& node(std::uint32_t s) { return *nodes_[s]; }
+  const ShardNode& node(std::uint32_t s) const { return *nodes_[s]; }
+  const ClusterConfig& config() const { return cfg_; }
+
+ private:
+  ClusterConfig cfg_;
+  std::vector<std::unique_ptr<ShardNode>> nodes_;
+};
+
+/// Merges per-shard top-k lists into the global top-k with the same
+/// ordering the single-node engines use (score desc, docID asc). Document
+/// partitioning guarantees no docID appears in more than one part.
+std::vector<core::ScoredDoc> merge_topk(
+    std::span<const std::vector<core::ScoredDoc>> parts, std::uint32_t k);
+
+}  // namespace griffin::cluster

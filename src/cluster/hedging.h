@@ -1,0 +1,66 @@
+// Hedged requests — the classic tail-at-scale mitigation (Dean & Barroso,
+// CACM 2013): if a shard has not answered within a delay derived from the
+// observed latency distribution (e.g. its p95), re-issue the request to a
+// replica and take whichever response lands first. The delay is adaptive:
+// the controller keeps every observed shard response time and answers the
+// configured percentile, so hedges fire only on genuine stragglers (~5% of
+// requests at p95) instead of doubling all load.
+//
+// In the discrete-event timeline "the timer fires before the reply" is the
+// condition primary_done > issue_time + delay(), which the broker can test
+// exactly (cluster/broker.cpp). Hedged work is not cancelled on either side
+// — the conservative no-cancellation variant — so replica queues absorb the
+// duplicate service time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace griffin::cluster {
+
+struct HedgeConfig {
+  bool enabled = false;
+  /// Hedge when a shard's response lags this percentile of observed
+  /// per-shard response times.
+  double percentile = 95.0;
+  /// Observations required before the percentile estimate is trusted; no
+  /// hedges fire during warm-up.
+  std::uint32_t min_samples = 32;
+};
+
+class HedgeController {
+ public:
+  explicit HedgeController(HedgeConfig cfg) : cfg_(cfg) {}
+
+  const HedgeConfig& config() const { return cfg_; }
+
+  /// Current hedge delay, or nullopt while disabled / warming up.
+  std::optional<sim::Duration> delay() const {
+    if (!cfg_.enabled || observed_ms_.count() < cfg_.min_samples) {
+      return std::nullopt;
+    }
+    return sim::Duration::from_ms(observed_ms_.percentile(cfg_.percentile));
+  }
+
+  /// Feeds one observed shard response time (queueing + service, as seen by
+  /// the broker).
+  void record(sim::Duration shard_response) {
+    observed_ms_.add(shard_response.ms());
+  }
+
+  std::size_t observations() const { return observed_ms_.count(); }
+
+ private:
+  HedgeConfig cfg_;
+  util::PercentileTracker observed_ms_;
+};
+
+struct HedgeStats {
+  std::uint64_t issued = 0;  ///< hedges sent to a replica
+  std::uint64_t won = 0;     ///< hedges that beat the primary
+};
+
+}  // namespace griffin::cluster

@@ -1,0 +1,34 @@
+// Document-to-shard assignment strategies for the cluster layer. The
+// partitioner produces the docID -> shard map that index::extract_shards
+// consumes; the choice shapes per-shard load:
+//
+//  - kRoundRobin (docID mod N) stripes every posting list evenly across
+//    shards — per-shard sub-lists shrink by ~N and per-query shard work is
+//    balanced. This is the production default (cf. GPUSparse / web search
+//    document partitioning).
+//  - kRange gives each shard one contiguous docID range. With the synthetic
+//    corpus's topical structure (topics are contiguous docID ranges,
+//    workload/corpus.h) a topical query lands almost entirely on the few
+//    shards owning its topic — a built-in skew/straggler scenario the
+//    hedging bench exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace griffin::cluster {
+
+enum class PartitionStrategy : std::uint8_t {
+  kRoundRobin,
+  kRange,
+};
+
+std::string strategy_name(PartitionStrategy s);
+
+/// Builds the docID -> shard assignment (one entry per document).
+std::vector<std::uint32_t> assign_docs(PartitionStrategy strategy,
+                                       std::uint64_t num_docs,
+                                       std::uint32_t num_shards);
+
+}  // namespace griffin::cluster

@@ -1,0 +1,56 @@
+#include "cluster/result_cache.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace griffin::cluster {
+
+CacheKey make_cache_key(const core::Query& q) {
+  CacheKey key;
+  key.terms = q.terms;
+  std::sort(key.terms.begin(), key.terms.end());
+  key.k = q.k;
+  return key;
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  std::uint64_t h = 0x6a09e667f3bcc908ULL ^ key.k;
+  for (const auto t : key.terms) {
+    std::uint64_t s = h ^ t;
+    h = util::splitmix64(s);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+const std::vector<core::ScoredDoc>* ResultCache::lookup(const CacheKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return &it->second->topk;
+}
+
+void ResultCache::insert(const CacheKey& key,
+                         std::vector<core::ScoredDoc> topk) {
+  if (capacity_ == 0) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->topk = std::move(topk);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(topk)});
+  entries_.emplace(lru_.front().key, lru_.begin());
+  ++stats_.insertions;
+}
+
+}  // namespace griffin::cluster

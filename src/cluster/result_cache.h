@@ -1,0 +1,77 @@
+// Broker-side query-result cache. Web query streams are Zipf-skewed — a
+// small head of popular queries recurs constantly — so caching merged top-k
+// results at the broker absorbs the head before it ever touches a shard
+// (saving the whole scatter/gather fan-out, not just one node's work).
+//
+// Keys are (sorted term-set, k): conjunctive AND is order-insensitive, so
+// "a b" and "b a" share an entry; k participates because a k=10 entry
+// cannot serve a k=100 request. Classic LRU over a doubly linked list +
+// hash map, O(1) lookup/insert/evict.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace griffin::cluster {
+
+struct CacheKey {
+  std::vector<index::TermId> terms;  ///< sorted ascending
+  std::uint32_t k = 0;
+
+  bool operator==(const CacheKey& o) const = default;
+};
+
+/// Builds the canonical (sorted terms, k) key for a query.
+CacheKey make_cache_key(const core::Query& q);
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+class ResultCache {
+ public:
+  /// capacity = max resident entries; 0 disables the cache entirely
+  /// (lookups always miss, inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached top-k and refreshes recency, or nullptr on miss.
+  const std::vector<core::ScoredDoc>* lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when full.
+  void insert(const CacheKey& key, std::vector<core::ScoredDoc> topk);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::vector<core::ScoredDoc> topk;
+  };
+  using Lru = std::list<Entry>;
+
+  std::size_t capacity_;
+  Lru lru_;  // front = most recent
+  std::unordered_map<CacheKey, Lru::iterator, CacheKeyHash> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace griffin::cluster

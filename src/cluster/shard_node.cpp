@@ -1,0 +1,20 @@
+#include "cluster/shard_node.h"
+
+namespace griffin::cluster {
+
+ShardNode::ShardNode(index::IndexShard shard, sim::HardwareSpec hw,
+                     core::HybridOptions opt)
+    : shard_(std::move(shard)), engine_(shard_.index, hw, opt) {}
+
+core::QueryResult ShardNode::execute(const core::Query& q) {
+  if (!shard_.translate_terms(q.terms, scratch_terms_)) {
+    core::QueryResult empty;
+    empty.metrics.total = absent_term_cost();
+    return empty;
+  }
+  core::Query local = q;
+  local.terms = scratch_terms_;
+  return engine_.execute(local);
+}
+
+}  // namespace griffin::cluster

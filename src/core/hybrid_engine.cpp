@@ -115,8 +115,10 @@ QueryResult HybridEngine::execute(const Query& q) {
   exec_.begin_query();  // release device buffers
   m.result_count = host_current.size();
 
+  // Original term order for scoring (not length order): keeps float
+  // accumulation bit-identical across engines and index shards.
   sim::CpuCostAccumulator rank(hw_.cpu);
-  scorer_.score(terms, host_current, res.topk, rank);
+  scorer_.score(q.terms, host_current, res.topk, rank);
   cpu::top_k(res.topk, q.k, rank);
   m.add_stage(rank.time(), &m.rank);
   return res;

@@ -62,7 +62,7 @@ void Bm25Scorer::score(std::span<const index::TermId> terms,
       const std::uint64_t pos = cur * list.block_size() + in_block;
       const std::uint32_t tf = pl.tf_at(pos);
       out[i].score += static_cast<float>(
-          term_score(tf, list.size(), idx_->docs().length(d)));
+          term_score(tf, idx_->df(t), idx_->docs().length(d)));
       acc.scores(1);
     }
   }

@@ -61,9 +61,13 @@ core::QueryResult CpuEngine::execute(const core::Query& q) {
 
   m.result_count = current.size();
 
-  // Ranking: BM25 + partial_sort (always CPU; paper Figure 7).
+  // Ranking: BM25 + partial_sort (always CPU; paper Figure 7). Scoring uses
+  // the query's original term order, not the SvS length order: float
+  // accumulation order is then a property of the query alone, so a
+  // document-partitioned shard (whose local list lengths differ) produces
+  // bit-identical scores to the unpartitioned index (cluster/broker.h).
   sim::CpuCostAccumulator rank(spec_);
-  scorer_.score(terms, current, res.topk, rank);
+  scorer_.score(q.terms, current, res.topk, rank);
   top_k(res.topk, q.k, rank);
   m.add_stage(rank.time(), &m.rank);
   return res;

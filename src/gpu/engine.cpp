@@ -160,8 +160,10 @@ core::QueryResult GpuEngine::execute(const core::Query& q) {
   exec_.begin_query();  // release device buffers
   m.result_count = docs.size();
 
+  // Original term order for scoring (not length order): keeps float
+  // accumulation bit-identical across engines and index shards.
   sim::CpuCostAccumulator rank(hw_.cpu);
-  scorer_.score(terms, docs, res.topk, rank);
+  scorer_.score(q.terms, docs, res.topk, rank);
   cpu::top_k(res.topk, q.k, rank);
   m.add_stage(rank.time(), &m.rank);
   return res;

@@ -74,6 +74,21 @@ class InvertedIndex {
     return lists_[t];
   }
 
+  /// Document frequency used for scoring. By default a term's df is its
+  /// posting-list length; a document-partitioned shard overrides it with the
+  /// *collection-wide* df so shard-local BM25 reproduces the global scores
+  /// exactly (index/shard.h sets this during extraction).
+  std::uint64_t df(TermId t) const {
+    if (t < df_override_.size()) return df_override_[t];
+    return list(t).size();
+  }
+  /// Installs per-term collection-wide dfs (parallel to TermIds). Empty
+  /// clears the override.
+  void set_df_override(std::vector<std::uint64_t> df) {
+    df_override_ = std::move(df);
+  }
+  bool has_df_override() const { return !df_override_.empty(); }
+
   DocTable& docs() { return docs_; }
   const DocTable& docs() const { return docs_; }
 
@@ -93,6 +108,7 @@ class InvertedIndex {
   Scheme scheme_;
   std::uint32_t block_size_;
   std::vector<PostingList> lists_;
+  std::vector<std::uint64_t> df_override_;
   DocTable docs_;
 };
 

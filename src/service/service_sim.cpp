@@ -1,7 +1,6 @@
 #include "service/service_sim.h"
 
-#include <algorithm>
-#include <cmath>
+#include "service/queueing.h"
 
 namespace griffin::service {
 
@@ -18,42 +17,20 @@ std::vector<sim::Duration> measure_service_times(
 ServiceResult run_service(std::span<const sim::Duration> service_times,
                           const ServiceConfig& cfg) {
   ServiceResult res;
-  util::Xoshiro256 rng(cfg.seed);
-
-  // Poisson arrivals: exponential inter-arrival gaps with mean 1/qps.
-  const double mean_gap_s = 1.0 / cfg.arrival_qps;
-
-  sim::Duration arrival;      // current query's arrival time
-  sim::Duration server_free;  // when the server becomes idle
-  sim::Duration busy_total;
-  std::vector<sim::Duration> completions;  // recent completion times
+  PoissonArrivals arrivals(cfg.arrival_qps, cfg.seed);
+  FcfsServer server;
+  QueueDepthTracker depth;
 
   for (const sim::Duration service : service_times) {
-    const double u = std::max(rng.uniform01(), 1e-12);
-    arrival += sim::Duration::from_seconds(-mean_gap_s * std::log(u));
-
+    const sim::Duration arrival = arrivals.next();
+    const Completion c = server.submit(arrival, service);
     res.service_ms.add(service.ms());
-    const sim::Duration start = sim::max(arrival, server_free);
-    const sim::Duration done = start + service;
-    server_free = done;
-    busy_total += service;
-    res.response_ms.add((done - arrival).ms());
-
-    // Backlog depth at this arrival: completions still pending.
-    completions.push_back(done);
-    std::uint64_t in_queue = 0;
-    for (const auto& c : completions) {
-      if (c > arrival) ++in_queue;
-    }
-    res.max_queue_depth = std::max(res.max_queue_depth, in_queue);
-    if (completions.size() > 4096) {
-      completions.erase(completions.begin(), completions.begin() + 2048);
-    }
+    res.response_ms.add((c.done - arrival).ms());
+    depth.observe(arrival, c.done);
   }
 
-  if (server_free.ps() > 0) {
-    res.utilization = busy_total / server_free;
-  }
+  res.utilization = server.utilization(server.free_at());
+  res.max_queue_depth = depth.max_depth();
   return res;
 }
 

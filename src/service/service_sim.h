@@ -22,7 +22,9 @@
 namespace griffin::service {
 
 struct ServiceConfig {
-  /// Mean offered load in queries per second (Poisson arrivals).
+  /// Mean offered load in queries per second (Poisson arrivals). Non-positive
+  /// or vanishingly small rates degrade gracefully to a no-queueing stream
+  /// (gaps capped at one simulated hour; see service/queueing.h).
   double arrival_qps = 100.0;
   std::uint64_t seed = 99;
 };

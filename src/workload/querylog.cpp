@@ -83,4 +83,34 @@ std::vector<core::Query> generate_query_log(const QueryLogConfig& cfg,
   return log;
 }
 
+std::vector<core::Query> generate_repeated_query_log(
+    const QueryLogConfig& base, const RepeatedLogConfig& rep,
+    std::uint32_t num_terms) {
+  assert(rep.unique_queries > 0);
+  QueryLogConfig pool_cfg = base;
+  pool_cfg.num_queries = rep.unique_queries;
+  const auto pool = generate_query_log(pool_cfg, num_terms);
+
+  util::Xoshiro256 rng(rep.seed);
+  // Decorrelate popularity rank from pool order (Fisher-Yates).
+  std::vector<std::uint32_t> by_popularity(pool.size());
+  for (std::uint32_t i = 0; i < by_popularity.size(); ++i) {
+    by_popularity[i] = i;
+  }
+  for (std::size_t i = by_popularity.size(); i > 1; --i) {
+    std::swap(by_popularity[i - 1], by_popularity[rng.bounded(i)]);
+  }
+
+  const util::ZipfSampler popularity(pool.size(), rep.popularity_zipf_s);
+  std::vector<core::Query> stream;
+  stream.reserve(rep.num_queries);
+  for (std::uint32_t i = 0; i < rep.num_queries; ++i) {
+    const auto rank = static_cast<std::uint32_t>(popularity(rng) - 1);
+    core::Query q = pool[by_popularity[rank]];
+    q.id = i;
+    stream.push_back(std::move(q));
+  }
+  return stream;
+}
+
 }  // namespace griffin::workload

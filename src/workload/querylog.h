@@ -37,4 +37,25 @@ std::vector<double> term_count_distribution();
 std::vector<core::Query> generate_query_log(const QueryLogConfig& cfg,
                                             std::uint32_t num_terms);
 
+/// Repetition structure for cache studies. Real query streams are heavily
+/// skewed: a small head of popular queries recurs constantly (the property
+/// result caches exploit), while the tail is near-unique. The stream is
+/// drawn from a pool of distinct queries with Zipf(popularity_zipf_s)
+/// popularity; popularity rank is decorrelated from the pool's generation
+/// order by a seeded shuffle, so "popular" does not just mean "frequent
+/// terms".
+struct RepeatedLogConfig {
+  std::uint32_t num_queries = 2000;    ///< stream length (with repeats)
+  std::uint32_t unique_queries = 200;  ///< distinct query pool size
+  double popularity_zipf_s = 1.0;      ///< head skew; larger = hotter head
+  std::uint64_t seed = 11;
+};
+
+/// Generates the distinct pool with `base` (its num_queries is overridden by
+/// rep.unique_queries) and replays it Zipf-skewed. Query ids are re-assigned
+/// to stream positions 0..num_queries-1.
+std::vector<core::Query> generate_repeated_query_log(
+    const QueryLogConfig& base, const RepeatedLogConfig& rep,
+    std::uint32_t num_terms);
+
 }  // namespace griffin::workload

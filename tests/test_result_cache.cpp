@@ -1,0 +1,89 @@
+#include "cluster/result_cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace griffin;
+using cluster::CacheKey;
+using cluster::ResultCache;
+
+namespace {
+
+core::Query make_query(std::vector<index::TermId> terms, std::uint32_t k) {
+  core::Query q;
+  q.terms = std::move(terms);
+  q.k = k;
+  return q;
+}
+
+std::vector<core::ScoredDoc> docs(std::initializer_list<index::DocId> ids) {
+  std::vector<core::ScoredDoc> out;
+  for (const auto d : ids) out.push_back({d, static_cast<float>(d)});
+  return out;
+}
+
+}  // namespace
+
+TEST(ResultCache, KeyIsTermOrderInsensitive) {
+  const auto a = cluster::make_cache_key(make_query({3, 1, 2}, 10));
+  const auto b = cluster::make_cache_key(make_query({1, 2, 3}, 10));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cluster::CacheKeyHash{}(a), cluster::CacheKeyHash{}(b));
+}
+
+TEST(ResultCache, KeyDistinguishesKAndTerms) {
+  const auto base = cluster::make_cache_key(make_query({1, 2}, 10));
+  EXPECT_NE(base, cluster::make_cache_key(make_query({1, 2}, 20)));
+  EXPECT_NE(base, cluster::make_cache_key(make_query({1, 3}, 10)));
+}
+
+TEST(ResultCache, HitReturnsInsertedResults) {
+  ResultCache cache(4);
+  const auto key = cluster::make_cache_key(make_query({1, 2}, 10));
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  cache.insert(key, docs({5, 9}));
+  const auto* hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 2u);
+  EXPECT_EQ((*hit)[0].doc, 5u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_NEAR(cache.stats().hit_rate(), 0.5, 1e-12);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  const auto k1 = cluster::make_cache_key(make_query({1}, 10));
+  const auto k2 = cluster::make_cache_key(make_query({2}, 10));
+  const auto k3 = cluster::make_cache_key(make_query({3}, 10));
+  cache.insert(k1, docs({1}));
+  cache.insert(k2, docs({2}));
+  // Touch k1 so k2 becomes the LRU victim.
+  EXPECT_NE(cache.lookup(k1), nullptr);
+  cache.insert(k3, docs({3}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.lookup(k2), nullptr);  // evicted
+  EXPECT_NE(cache.lookup(k3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2);
+  const auto k1 = cluster::make_cache_key(make_query({1}, 10));
+  cache.insert(k1, docs({1}));
+  cache.insert(k1, docs({1, 2}));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto* hit = cache.lookup(k1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  const auto k1 = cluster::make_cache_key(make_query({1}, 10));
+  cache.insert(k1, docs({1}));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}

@@ -104,3 +104,73 @@ TEST(ServiceSim, WorksWithRealEngines) {
   EXPECT_EQ(res.response_ms.count(), log.size());
   EXPECT_GT(res.utilization, 0.0);
 }
+
+TEST(ServiceSimEdge, EmptyQuerySetIsWellDefined) {
+  service::ServiceConfig cfg;
+  const auto res = service::run_service(std::span<const sim::Duration>{}, cfg);
+  EXPECT_EQ(res.response_ms.count(), 0u);
+  EXPECT_EQ(res.service_ms.count(), 0u);
+  EXPECT_DOUBLE_EQ(res.utilization, 0.0);
+  EXPECT_EQ(res.max_queue_depth, 0u);
+}
+
+TEST(ServiceSimEdge, ZeroQpsDegradesToNoQueueing) {
+  // arrival_qps = 0 would mean "no arrivals ever"; the simulator instead
+  // caps each gap at one simulated hour, so every query still completes,
+  // response equals service, and the server sits essentially idle.
+  FixedEngine engine(1.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 0.0;
+  const auto res = service::run_service(engine, n_queries(100), cfg);
+  EXPECT_EQ(res.response_ms.count(), 100u);
+  EXPECT_DOUBLE_EQ(res.response_ms.mean(), res.service_ms.mean());
+  EXPECT_DOUBLE_EQ(res.response_ms.percentile(99),
+                   res.service_ms.percentile(99));
+  EXPECT_LT(res.utilization, 1e-5);
+  EXPECT_EQ(res.max_queue_depth, 1u);  // only the query being served
+}
+
+TEST(ServiceSimEdge, NearZeroQpsDoesNotOverflowTheClock) {
+  FixedEngine engine(1.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 1e-9;  // a raw exponential gap would overflow int64 ps
+  const auto res = service::run_service(engine, n_queries(200), cfg);
+  EXPECT_EQ(res.response_ms.count(), 200u);
+  for (const double r : res.response_ms.samples()) {
+    EXPECT_GE(r, 0.0);  // an overflow would wrap negative
+    EXPECT_LE(r, res.service_ms.max() + 1e-9);
+  }
+  EXPECT_GE(res.utilization, 0.0);
+  EXPECT_LE(res.utilization, 1.0);
+}
+
+TEST(ServiceSimEdge, UtilizationAndDepthConsistentWithPercentiles) {
+  FixedEngine engine(1.0);
+  // Light load: nobody waits, so depth stays at 1, utilization is small,
+  // and the response percentiles coincide with the service percentiles.
+  {
+    service::ServiceConfig cfg;
+    cfg.arrival_qps = 1.0;
+    const auto res = service::run_service(engine, n_queries(500), cfg);
+    EXPECT_LE(res.max_queue_depth, 2u);  // rare back-to-back Poisson gaps
+    EXPECT_LT(res.utilization, 0.05);
+    EXPECT_NEAR(res.response_ms.percentile(99),
+                res.service_ms.percentile(99), 0.5);
+  }
+  // Heavy load: queueing delay shows up in every indicator at once —
+  // depth > 1, utilization near 1, and responses dominating service times.
+  {
+    service::ServiceConfig cfg;
+    cfg.arrival_qps = 950.0;
+    const auto res = service::run_service(engine, n_queries(2000), cfg);
+    EXPECT_GT(res.max_queue_depth, 1u);
+    EXPECT_GT(res.utilization, 0.5);
+    EXPECT_LE(res.utilization, 1.0);
+    EXPECT_GT(res.response_ms.percentile(50),
+              res.service_ms.percentile(50));
+    // Waiting time consistent with a backlog: the p99 response exceeds the
+    // p99 service by at least one extra service time's worth of queueing.
+    EXPECT_GT(res.response_ms.percentile(99),
+              res.service_ms.percentile(99) + 1.0);
+  }
+}

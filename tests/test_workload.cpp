@@ -205,3 +205,44 @@ TEST(QueryLog, QueriesSkewTowardFrequentTerms) {
   // of the occurrences.
   EXPECT_GT(static_cast<double>(head) / total, 0.10);
 }
+
+TEST(RepeatedQueryLog, StreamDrawsFromPoolWithZipfHead) {
+  workload::QueryLogConfig base;
+  base.seed = 21;
+  workload::RepeatedLogConfig rep;
+  rep.num_queries = 3000;
+  rep.unique_queries = 100;
+  rep.popularity_zipf_s = 1.1;
+  rep.seed = 22;
+  const auto stream = workload::generate_repeated_query_log(base, rep, 500);
+
+  ASSERT_EQ(stream.size(), rep.num_queries);
+  // Ids are stream positions; term sets come from a pool of <= 100 queries.
+  std::map<std::vector<index::TermId>, int> freq;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, i);
+    auto terms = stream[i].terms;
+    std::sort(terms.begin(), terms.end());
+    ++freq[terms];
+  }
+  EXPECT_LE(freq.size(), 100u);
+  EXPECT_GT(freq.size(), 10u);  // the tail is represented too
+
+  // Zipf popularity: the hottest query dwarfs the uniform share (30/query).
+  int hottest = 0;
+  for (const auto& [terms, n] : freq) hottest = std::max(hottest, n);
+  EXPECT_GT(hottest, 120);
+}
+
+TEST(RepeatedQueryLog, DeterministicPerSeed) {
+  workload::QueryLogConfig base;
+  workload::RepeatedLogConfig rep;
+  rep.num_queries = 200;
+  rep.unique_queries = 40;
+  const auto a = workload::generate_repeated_query_log(base, rep, 300);
+  const auto b = workload::generate_repeated_query_log(base, rep, 300);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].terms, b[i].terms);
+  }
+}
