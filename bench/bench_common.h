@@ -5,14 +5,20 @@
 // Environment:
 //   GRIFFIN_FAST=1         shrink workloads ~10x (smoke-test mode)
 //   GRIFFIN_CACHE_DIR=...  corpus cache directory (default /tmp/griffin_bench)
+//   GRIFFIN_BENCH_JSON_DIR=...  where BENCH_<name>.json files go (default cwd)
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "index/io.h"
+#include "util/stats.h"
 #include "workload/corpus.h"
 #include "workload/querylog.h"
 
@@ -91,6 +97,153 @@ inline workload::QueryLogConfig paper_query_config(
   qcfg.topical_fraction = 0.9;
   qcfg.seed = 4242;
   return qcfg;
+}
+
+// ---- Machine-readable results (BENCH_<name>.json) ----
+//
+// A tiny self-contained JSON value tree: just enough for the benches to emit
+// their tables as structured records CI can archive and diff across commits.
+// Objects keep insertion order so the files are stable and reviewable.
+
+class Json {
+ public:
+  Json() : v_(nullptr) {}
+  Json(bool b) : v_(b) {}                            // NOLINT(runtime/explicit)
+  Json(double d) : v_(d) {}                          // NOLINT(runtime/explicit)
+  Json(int i) : v_(static_cast<double>(i)) {}        // NOLINT(runtime/explicit)
+  Json(unsigned u) : v_(static_cast<double>(u)) {}   // NOLINT(runtime/explicit)
+  Json(std::uint64_t u) : v_(static_cast<double>(u)) {}  // NOLINT
+  Json(const char* s) : v_(std::string(s)) {}        // NOLINT(runtime/explicit)
+  Json(std::string s) : v_(std::move(s)) {}          // NOLINT(runtime/explicit)
+
+  static Json object() { Json j; j.v_ = Members{}; return j; }
+  static Json array() { Json j; j.v_ = Elements{}; return j; }
+
+  /// Object access; inserts a null member on first use of a key.
+  Json& operator[](const std::string& key) {
+    if (!std::holds_alternative<Members>(v_)) v_ = Members{};
+    auto& members = std::get<Members>(v_);
+    for (auto& [k, val] : members) {
+      if (k == key) return val;
+    }
+    members.emplace_back(key, Json{});
+    return members.back().second;
+  }
+
+  void push_back(Json j) {
+    if (!std::holds_alternative<Elements>(v_)) v_ = Elements{};
+    std::get<Elements>(v_).push_back(std::move(j));
+  }
+
+  std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent);
+    return out;
+  }
+
+ private:
+  using Members = std::vector<std::pair<std::string, Json>>;
+  using Elements = std::vector<Json>;
+
+  static void write_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  void write(std::string& out, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    if (std::holds_alternative<std::nullptr_t>(v_)) {
+      out += "null";
+    } else if (const bool* b = std::get_if<bool>(&v_)) {
+      out += *b ? "true" : "false";
+    } else if (const double* d = std::get_if<double>(&v_)) {
+      if (!std::isfinite(*d)) {
+        out += "null";  // JSON has no inf/nan
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", *d);
+        out += buf;
+      }
+    } else if (const std::string* s = std::get_if<std::string>(&v_)) {
+      write_escaped(out, *s);
+    } else if (const Elements* els = std::get_if<Elements>(&v_)) {
+      if (els->empty()) { out += "[]"; return; }
+      out += "[\n";
+      for (std::size_t i = 0; i < els->size(); ++i) {
+        out += pad + "  ";
+        (*els)[i].write(out, indent + 2);
+        out += i + 1 < els->size() ? ",\n" : "\n";
+      }
+      out += pad + "]";
+    } else if (const Members* ms = std::get_if<Members>(&v_)) {
+      if (ms->empty()) { out += "{}"; return; }
+      out += "{\n";
+      for (std::size_t i = 0; i < ms->size(); ++i) {
+        out += pad + "  ";
+        write_escaped(out, (*ms)[i].first);
+        out += ": ";
+        (*ms)[i].second.write(out, indent + 2);
+        out += i + 1 < ms->size() ? ",\n" : "\n";
+      }
+      out += pad + "}";
+    }
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Elements, Members>
+      v_;
+};
+
+/// Latency distribution as a JSON object (ms units throughout the benches).
+inline Json latency_json(const util::PercentileTracker& t) {
+  Json j = Json::object();
+  j["count"] = static_cast<std::uint64_t>(t.count());
+  if (t.count() > 0) {
+    j["mean"] = t.mean();
+    j["p50"] = t.percentile(50);
+    j["p95"] = t.percentile(95);
+    j["p99"] = t.percentile(99);
+    j["max"] = t.max();
+    // Sequential service rate of one node at these latencies.
+    j["throughput_qps"] = t.mean() > 0.0 ? 1000.0 / t.mean() : 0.0;
+  }
+  return j;
+}
+
+/// Writes BENCH_<name>.json under GRIFFIN_BENCH_JSON_DIR (default: cwd).
+/// Benches call this once at exit with their full result tree; failures are
+/// reported but never abort the bench (the printed table is the primary
+/// output, the JSON a CI artifact).
+inline void write_bench_json(const std::string& name, const Json& root) {
+  const char* env = std::getenv("GRIFFIN_BENCH_JSON_DIR");
+  std::string dir = env != nullptr ? env : ".";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] could not write %s\n", path.c_str());
+    return;
+  }
+  const std::string text = root.dump() + "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
 }
 
 // ---- Table printing ----

@@ -42,13 +42,17 @@ int main() {
               "CPU (ms)", "GPUonly(ms)", "Griffin(ms)", "Grif-cost(ms)",
               "vs CPU", "vs GPU");
 
+  bench::Json group_rows = bench::Json::array();
+  core::CacheCounters grif_cache;
   util::SummaryStats all_cpu, all_gpu, all_grif, all_cost;
   for (const auto& [g, queries] : groups) {
     double cpu_ms = 0, gpu_ms = 0, grif_ms = 0, cost_ms = 0;
     for (const auto& q : queries) {
       cpu_ms += cpu_engine.execute(q).metrics.total.ms();
       gpu_ms += gpu_engine.execute(q).metrics.total.ms();
-      grif_ms += griffin.execute(q).metrics.total.ms();
+      const auto grif_res = griffin.execute(q);
+      grif_ms += grif_res.metrics.total.ms();
+      grif_cache += grif_res.metrics.cache;
       cost_ms += griffin_cost.execute(q).metrics.total.ms();
     }
     const auto n = static_cast<double>(queries.size());
@@ -65,6 +69,15 @@ int main() {
     std::printf("%-8s %8zu %11.3f %11.3f %11.3f %12.3f %7.1fx %7.2fx\n",
                 label, queries.size(), cpu_ms, gpu_ms, grif_ms, cost_ms,
                 cpu_ms / grif_ms, gpu_ms / grif_ms);
+
+    bench::Json row = bench::Json::object();
+    row["terms"] = label;
+    row["queries"] = static_cast<std::uint64_t>(queries.size());
+    row["cpu_ms"] = cpu_ms;
+    row["gpu_only_ms"] = gpu_ms;
+    row["griffin_ms"] = grif_ms;
+    row["griffin_cost_model_ms"] = cost_ms;
+    group_rows.push_back(std::move(row));
   }
 
   std::printf("\nAverage across groups: Griffin %.1fx vs CPU-only (paper ~10x), "
@@ -104,5 +117,23 @@ int main() {
                 c_ms / static_cast<double>(slog.size()),
                 g_ms / static_cast<double>(slog.size()), c_ms / g_ms);
   }
+
+  bench::Json root = bench::Json::object();
+  root["bench"] = "end_to_end";
+  root["fast_mode"] = bench::fast_mode();
+  root["num_docs"] = cfg.num_docs;
+  root["num_terms"] = cfg.num_terms;
+  root["groups"] = std::move(group_rows);
+  root["speedup_vs_cpu"] = all_cpu.mean() / all_grif.mean();
+  root["speedup_vs_gpu"] = all_gpu.mean() / all_grif.mean();
+  root["cost_model_speedup_vs_cpu"] = all_cpu.mean() / all_cost.mean();
+  root["cost_model_speedup_vs_gpu"] = all_gpu.mean() / all_cost.mean();
+  bench::Json cachej = bench::Json::object();
+  cachej["device_hit_rate"] = grif_cache.device_hit_rate();
+  cachej["host_hit_rate"] = grif_cache.host_hit_rate();
+  cachej["device_hits"] = grif_cache.device_hits;
+  cachej["host_hits"] = grif_cache.host_hits;
+  root["griffin_cache"] = std::move(cachej);
+  bench::write_bench_json("end_to_end", root);
   return 0;
 }

@@ -48,6 +48,7 @@ core::QueryResult ClusterBroker::execute(const core::Query& q) {
     out.metrics.result_count += part.metrics.result_count;
     out.metrics.gpu_kernels += part.metrics.gpu_kernels;
     out.metrics.migrations += part.metrics.migrations;
+    out.metrics.cache += part.metrics.cache;
     parts.push_back(std::move(part.topk));
   }
   out.topk = merge_topk(parts, q.k);
@@ -60,7 +61,7 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
   ClusterResult res;
   service::PoissonArrivals arrivals(cfg_.arrival_qps, cfg_.seed);
   util::Xoshiro256 straggler_rng(cfg_.seed ^ 0x5741474c45525353ULL);
-  ResultCache cache(cfg_.cache_capacity);
+  ResultCache cache(cfg_.cache_capacity, cfg_.cache_budget_bytes);
   HedgeController hedge(cfg_.hedge);
   std::vector<service::QueueDepthTracker> depth(nodes_.size());
   // Per-run replica queues (replica 0 = primary): runs are independent and
@@ -78,7 +79,7 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
     const sim::Duration t_arrival = arrivals.next();
 
     const CacheKey key = make_cache_key(q);
-    if (cfg_.cache_capacity > 0) {
+    if (cache.enabled()) {
       if (cache.lookup(key) != nullptr) {
         const sim::Duration done = t_arrival + cfg_.cache_hit_latency;
         res.response_ms.add((done - t_arrival).ms());
@@ -97,6 +98,7 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
 
       core::QueryResult part = node.execute(q);
       parts[s] = std::move(part.topk);
+      res.engine_cache += part.metrics.cache;
       sim::Duration svc = part.metrics.total;
       sim::Duration svc_primary = svc;
       if (cfg_.straggler.probability > 0.0 &&
@@ -136,7 +138,7 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
     res.shard_critical_ms.add(critical.ms());
     res.horizon = sim::max(res.horizon, done);
 
-    if (cfg_.cache_capacity > 0) {
+    if (cache.enabled()) {
       cache.insert(key, merge_topk(parts, q.k));
     }
   }
@@ -147,6 +149,7 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
         std::max(res.max_queue_depth, depth[s].max_depth());
   }
   res.cache = cache.stats();
+  res.result_cache_bytes = cache.bytes();
   return res;
 }
 

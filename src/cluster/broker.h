@@ -49,8 +49,11 @@ struct ClusterConfig {
   /// Replicas per shard; hedging needs >= 2 (the second queue).
   std::uint32_t replicas_per_shard = 2;
   HedgeConfig hedge;
-  /// Result-cache entries at the broker; 0 disables caching.
+  /// Result-cache entry bound at the broker (0 = no count bound).
   std::size_t cache_capacity = 0;
+  /// Result-cache byte budget (0 = no byte bound). Caching is enabled when
+  /// either bound is set; both zero disables it.
+  std::uint64_t cache_budget_bytes = 0;
   sim::Duration cache_hit_latency = sim::Duration::from_us(5);
   /// Broker <-> shard round trip (intra-datacenter).
   sim::Duration net_rtt = sim::Duration::from_us(200);
@@ -68,6 +71,11 @@ struct ClusterResult {
   util::PercentileTracker shard_critical_ms;
   CacheStats cache;
   HedgeStats hedge;
+  /// Shard-engine cache-tier counters (device list cache + host decoded
+  /// cache), summed over every shard execution in the run.
+  core::CacheCounters engine_cache;
+  /// Resident bytes in the broker's result cache at the end of the run.
+  std::uint64_t result_cache_bytes = 0;
   std::vector<double> shard_utilization;  ///< primary replica, per shard
   std::uint64_t max_queue_depth = 0;      ///< across primary replicas
   std::uint64_t cache_hits_served = 0;

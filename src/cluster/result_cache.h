@@ -46,29 +46,51 @@ struct CacheStats {
 
 class ResultCache {
  public:
-  /// capacity = max resident entries; 0 disables the cache entirely
-  /// (lookups always miss, inserts are dropped).
-  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  /// capacity = max resident entries (0 = no count bound); byte_budget
+  /// bounds resident memory in bytes (0 = no byte bound) — entry sizes vary
+  /// with k and term count, so a count bound alone does not actually bound
+  /// broker memory. Both zero disables the cache entirely (lookups always
+  /// miss, inserts are dropped).
+  explicit ResultCache(std::size_t capacity, std::uint64_t byte_budget = 0)
+      : capacity_(capacity), byte_budget_(byte_budget) {}
+
+  bool enabled() const { return capacity_ != 0 || byte_budget_ != 0; }
+
+  /// Resident bytes of one entry: key terms + scored docs + bookkeeping.
+  static std::uint64_t entry_bytes(const CacheKey& key,
+                                   const std::vector<core::ScoredDoc>& topk) {
+    return 64 + key.terms.size() * sizeof(index::TermId) +
+           topk.size() * sizeof(core::ScoredDoc);
+  }
 
   /// Returns the cached top-k and refreshes recency, or nullptr on miss.
   const std::vector<core::ScoredDoc>* lookup(const CacheKey& key);
 
-  /// Inserts (or refreshes) an entry, evicting the least recently used
-  /// entry when full.
+  /// Inserts (or refreshes) an entry, evicting least recently used entries
+  /// until both the count and byte bounds hold. An entry larger than the
+  /// whole byte budget is dropped.
   void insert(const CacheKey& key, std::vector<core::ScoredDoc> topk);
 
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
+  /// Resident bytes across all entries.
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t byte_budget() const { return byte_budget_; }
   const CacheStats& stats() const { return stats_; }
 
  private:
   struct Entry {
     CacheKey key;
     std::vector<core::ScoredDoc> topk;
+    std::uint64_t bytes = 0;
   };
   using Lru = std::list<Entry>;
 
+  void evict_to_bounds();
+
   std::size_t capacity_;
+  std::uint64_t byte_budget_;
+  std::uint64_t bytes_ = 0;
   Lru lru_;  // front = most recent
   std::unordered_map<CacheKey, Lru::iterator, CacheKeyHash> entries_;
   CacheStats stats_;

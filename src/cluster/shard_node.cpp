@@ -14,7 +14,9 @@ core::QueryResult ShardNode::execute(const core::Query& q) {
   }
   core::Query local = q;
   local.terms = scratch_terms_;
-  return engine_.execute(local);
+  core::QueryResult res = engine_.execute(local);
+  cache_ += res.metrics.cache;
+  return res;
 }
 
 }  // namespace griffin::cluster

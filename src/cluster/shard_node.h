@@ -36,9 +36,15 @@ class ShardNode {
   /// dictionary (the short-circuit path of execute()).
   static sim::Duration absent_term_cost() { return sim::Duration::from_us(2); }
 
+  /// Engine cache-tier counters summed over every execute() on this node
+  /// (the node's engine — and therefore its caches — is shared by all
+  /// replicas, so this is the node's lifetime view).
+  const core::CacheCounters& cache_counters() const { return cache_; }
+
  private:
   index::IndexShard shard_;
   core::HybridEngine engine_;
+  core::CacheCounters cache_;
   std::vector<index::TermId> scratch_terms_;
 };
 

@@ -2,9 +2,6 @@
 
 #include <algorithm>
 
-#include "cpu/decode.h"
-#include "cpu/intersect.h"
-
 namespace griffin::core {
 
 StepShape HybridEngine::shape_for(std::uint64_t shorter,
@@ -14,6 +11,10 @@ StepShape HybridEngine::shape_for(std::uint64_t shorter,
   s.shorter = shorter;
   s.longer = idx_->list(longer_term).size();
   s.longer_bytes = idx_->list(longer_term).docids.compressed_bytes();
+  // Residency bits from the two cache tiers: cold caches leave both false,
+  // so the first queries decide exactly as the paper's rule does.
+  s.longer_device_resident = exec_.device_resident(longer_term);
+  s.longer_host_decoded = svs_.host_decoded(longer_term);
   s.current_location = loc;
   return s;
 }
@@ -33,45 +34,8 @@ QueryResult HybridEngine::execute(const Query& q) {
   bool on_gpu = false;
   exec_.begin_query();
 
-  auto cpu_step_first = [&](index::TermId a, index::TermId b) {
-    const auto& l0 = idx_->list(a).docids;
-    const auto& l1 = idx_->list(b).docids;
-    sim::CpuCostAccumulator acc(hw_.cpu);
-    const double ratio =
-        static_cast<double>(l1.size()) / static_cast<double>(l0.size());
-    if (ratio >= opt_.cpu.skip_ratio) {
-      std::vector<codec::DocId> probes;
-      cpu::decode_all(l0, probes, acc);
-      cpu::skip_intersect(probes, l1, host_current, acc,
-                          opt_.cpu.ef_random_access);
-    } else {
-      cpu::merge_intersect(l0, l1, host_current, acc);
-    }
-    m.add_stage(acc.time(), &m.intersect);
-    m.placements.push_back(Placement::kCpu);
-  };
-
-  auto cpu_step_next = [&](index::TermId t) {
-    const auto& lt = idx_->list(t).docids;
-    sim::CpuCostAccumulator acc(hw_.cpu);
-    std::vector<codec::DocId> next;
-    const double ratio = static_cast<double>(lt.size()) /
-                         static_cast<double>(host_current.size());
-    if (ratio >= opt_.cpu.skip_ratio) {
-      cpu::skip_intersect(host_current, lt, next, acc,
-                          opt_.cpu.ef_random_access);
-    } else {
-      cpu::merge_intersect(host_current, lt, next, acc);
-    }
-    host_current.swap(next);
-    m.add_stage(acc.time(), &m.intersect);
-    m.placements.push_back(Placement::kCpu);
-  };
-
   if (terms.size() == 1) {
-    sim::CpuCostAccumulator acc(hw_.cpu);
-    cpu::decode_all(idx_->list(terms[0]).docids, host_current, acc);
-    m.add_stage(acc.time(), &m.decode);
+    svs_.decode_single(terms[0], host_current, m);
   } else {
     // First pair: no intermediate yet, decide on the raw list lengths.
     const StepShape first =
@@ -80,7 +44,7 @@ QueryResult HybridEngine::execute(const Query& q) {
       exec_.intersect_first(terms[0], terms[1], m);
       on_gpu = true;
     } else {
-      cpu_step_first(terms[0], terms[1]);
+      svs_.first_pair(terms[0], terms[1], host_current, m);
     }
 
     for (std::size_t i = 2; i < terms.size(); ++i) {
@@ -103,7 +67,7 @@ QueryResult HybridEngine::execute(const Query& q) {
           ++m.migrations;
           on_gpu = false;
         }
-        cpu_step_next(terms[i]);
+        svs_.next_step(host_current, terms[i], m);
       }
     }
   }

@@ -29,12 +29,18 @@ class HybridEngine : public Engine {
         opt_(opt),
         sched_(opt.scheduler, hw),
         exec_(idx, hw, opt.gpu),
+        host_cache_(opt.cpu.decoded_cache_bytes),
+        svs_(idx, hw.cpu,
+             cpu::SvsOptions{opt.cpu.skip_ratio, opt.cpu.ef_random_access},
+             &host_cache_),
         scorer_(idx, opt.cpu.bm25) {}
 
   QueryResult execute(const Query& q) override;
   std::string name() const override { return "griffin"; }
 
   const Scheduler& scheduler() const { return sched_; }
+  const gpu::GpuExecutor& executor() const { return exec_; }
+  const cpu::DecodedCache& decoded_cache() const { return host_cache_; }
 
  private:
   StepShape shape_for(std::uint64_t shorter, index::TermId longer_term,
@@ -45,6 +51,8 @@ class HybridEngine : public Engine {
   HybridOptions opt_;
   Scheduler sched_;
   gpu::GpuExecutor exec_;
+  cpu::DecodedCache host_cache_;
+  cpu::SvsStepper svs_;
   cpu::Bm25Scorer scorer_;
 };
 

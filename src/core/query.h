@@ -27,6 +27,37 @@ struct ScoredDoc {
 /// Where one intersection step ran — the scheduler's decision trail.
 enum class Placement : std::uint8_t { kCpu, kGpu };
 
+/// Hit/miss/eviction counts for the two engine-side caching tiers: the
+/// device-resident compressed-list cache (gpu/list_cache.h) and the host
+/// decoded-postings cache (cpu/decoded_cache.h). Pure counters — the time
+/// saved by a hit shows up as *absent* charges in the stage durations, so
+/// decode + intersect + transfer + rank still sums to total.
+struct CacheCounters {
+  std::uint64_t device_hits = 0;
+  std::uint64_t device_misses = 0;
+  std::uint64_t device_evictions = 0;
+  std::uint64_t host_hits = 0;
+  std::uint64_t host_misses = 0;
+  std::uint64_t host_evictions = 0;
+
+  CacheCounters& operator+=(const CacheCounters& o) {
+    device_hits += o.device_hits;
+    device_misses += o.device_misses;
+    device_evictions += o.device_evictions;
+    host_hits += o.host_hits;
+    host_misses += o.host_misses;
+    host_evictions += o.host_evictions;
+    return *this;
+  }
+
+  static double rate(std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+  double device_hit_rate() const { return rate(device_hits, device_misses); }
+  double host_hit_rate() const { return rate(host_hits, host_misses); }
+};
+
 /// Per-query latency breakdown in simulated time.
 struct QueryMetrics {
   sim::Duration total;
@@ -37,6 +68,7 @@ struct QueryMetrics {
   std::uint64_t gpu_kernels = 0;
   std::uint64_t migrations = 0;   ///< GPU<->CPU hand-offs mid-query
   std::uint64_t result_count = 0; ///< docs matching all terms
+  CacheCounters cache;            ///< per-query cache-tier counters
   std::vector<Placement> placements;  ///< one per intersection step
 
   void add_stage(sim::Duration d, sim::Duration* stage) {

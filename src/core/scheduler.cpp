@@ -16,7 +16,15 @@ Placement Scheduler::decide(const StepShape& s) const {
       if (s.shorter == 0) return Placement::kCpu;  // nothing left to do
       const double ratio = static_cast<double>(s.longer) /
                            static_cast<double>(s.shorter);
-      return ratio < opt_.ratio_threshold ? Placement::kGpu : Placement::kCpu;
+      // Residency-adjusted crossover: a device-resident long list removes
+      // the GPU's transfer cost (raises λ), a host-decoded one removes the
+      // CPU's decode cost (lowers λ). Cold caches leave λ at the paper's.
+      double threshold = opt_.ratio_threshold;
+      if (opt_.residency_aware) {
+        if (s.longer_device_resident) threshold *= opt_.resident_ratio_boost;
+        if (s.longer_host_decoded) threshold *= opt_.host_decoded_ratio_scale;
+      }
+      return ratio < threshold ? Placement::kGpu : Placement::kCpu;
     }
     case SchedulerPolicy::kCostModel:
       return estimate_gpu(s) < estimate_cpu(s) ? Placement::kGpu
@@ -32,20 +40,24 @@ sim::Duration Scheduler::estimate_cpu(const StepShape& s) const {
   double cycles;
   if (s.shorter == 0) return sim::Duration();
   const double ratio = nl / ns;
+  const bool host_decoded = opt_.residency_aware && s.longer_host_decoded;
   if (ratio >= 32.0) {
     // Skip-pointer probing: log-time skip search per probe plus a full
     // block decode per distinct touched block (the default, paper-faithful
-    // CPU baseline — see cpu/intersect.h on ef_random_access).
+    // CPU baseline — see cpu/intersect.h on ef_random_access). A
+    // host-decoded target skips the block decodes: probes binary-search the
+    // cached decoded array directly.
     const double probes = ns;
     const double steps = std::log2(std::max(nl / 128.0, 2.0)) + 7.0;
     const double nblocks = nl / 128.0;
     const double touched =
         nblocks * (1.0 - std::exp(-probes / std::max(nblocks, 1.0)));
-    cycles = probes * steps * (3.0 + 0.5 * c.branch_miss_cycles) +
-             touched * 128.0 * c.ef_decode_cycles;
+    cycles = probes * steps * (3.0 + 0.5 * c.branch_miss_cycles);
+    if (!host_decoded) cycles += touched * 128.0 * c.ef_decode_cycles;
   } else {
-    // Full decode + merge.
-    cycles = nl * c.pfor_decode_cycles + (ns + nl) * c.merge_step_cycles;
+    // Full decode + merge; a host-decoded long list merges without decode.
+    cycles = (ns + nl) * c.merge_step_cycles;
+    if (!host_decoded) cycles += nl * c.pfor_decode_cycles;
   }
   sim::Duration t = sim::Duration::from_cycles(cycles, c.clock_ghz);
   // Migration: intermediate currently on the GPU must come back first.
@@ -68,19 +80,26 @@ sim::Duration Scheduler::estimate_gpu(const StepShape& s) const {
   if (!opt_.assume_pooled_memory) {
     t += sim::Duration::from_us(4.0 * hw_.pcie.alloc_us);
   }
+  // A device-resident long list (gpu/list_cache.h) skips the PCIe transfer
+  // terms entirely — §2.3's overhead is exactly what the cache removes.
+  const bool resident = opt_.residency_aware && s.longer_device_resident;
   if (ratio < 128.0) {
     // Transfer the compressed long list, decode everything, merge.
-    t += sim::Duration::from_us(hw_.pcie.latency_us) +
-         sim::Duration::from_ns(static_cast<double>(s.longer_bytes) /
-                                hw_.pcie.bandwidth_gbps);
+    if (!resident) {
+      t += sim::Duration::from_us(hw_.pcie.latency_us) +
+           sim::Duration::from_ns(static_cast<double>(s.longer_bytes) /
+                                  hw_.pcie.bandwidth_gbps);
+    }
     const double touched_bytes = (ns + nl) * 12.0;  // decode + merge traffic
     t += sim::Duration::from_ns(touched_bytes / g.mem_bandwidth_gbps);
   } else {
     // Only candidate blocks move and decode.
     const double blocks = std::min(ns, nl / 128.0);
-    t += sim::Duration::from_us(hw_.pcie.latency_us) +
-         sim::Duration::from_ns(blocks * 128.0 /
-                                hw_.pcie.bandwidth_gbps);  // ~1 B/elem payload
+    if (!resident) {
+      t += sim::Duration::from_us(hw_.pcie.latency_us) +
+           sim::Duration::from_ns(blocks * 128.0 /
+                                  hw_.pcie.bandwidth_gbps);  // ~1 B/elem
+    }
     t += sim::Duration::from_ns(ns * std::log2(std::max(nl / 128.0, 2.0)) *
                                 128.0 / g.mem_bandwidth_gbps);
   }

@@ -37,6 +37,18 @@ struct SchedulerOptions {
   /// kCostModel: assume the engines run with a warm device-memory pool
   /// (GpuOptions::pooled_memory), i.e. no per-step allocation charges.
   bool assume_pooled_memory = true;
+  /// Fold list residency (StepShape's *_resident bits, filled from the
+  /// device list cache and the host decoded cache) into the decision:
+  /// kCostModel zeroes the transfer/decode terms a resident list skips, and
+  /// kRatioThreshold shifts its crossover — §3.2's λ=128 balances the GPU's
+  /// transfer cost against the CPU's skip advantage, so removing the
+  /// transfer (device-resident long list) raises the crossover while a
+  /// pre-decoded host list cheapens the CPU side and lowers it.
+  bool residency_aware = true;
+  /// kRatioThreshold multiplier when the long list is device-resident.
+  double resident_ratio_boost = 4.0;
+  /// kRatioThreshold multiplier when the long list is host-decoded.
+  double host_decoded_ratio_scale = 0.5;
 };
 
 /// One intersection step as the scheduler sees it.
@@ -44,6 +56,10 @@ struct StepShape {
   std::uint64_t shorter = 0;       ///< current intermediate (or short list)
   std::uint64_t longer = 0;        ///< next posting list length
   std::uint64_t longer_bytes = 0;  ///< its compressed payload bytes
+  /// Long list already resident in the GPU's list cache (no H2D transfer).
+  bool longer_device_resident = false;
+  /// Long list already decoded in the host cache (no CPU decode work).
+  bool longer_host_decoded = false;
   std::optional<Placement> current_location;  ///< where the intermediate lives
 };
 

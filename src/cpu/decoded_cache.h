@@ -1,0 +1,57 @@
+// Host decoded-postings cache: the CPU-side mirror of gpu/list_cache.h. An
+// LRU of fully decoded posting lists keyed by TermId under a host-memory
+// byte budget, so hot terms skip cpu::decode_all's per-element decode and
+// materialization charges on later queries. Filled only where decode_all
+// already runs today (skip-path probe lists, single-term queries), so a
+// cold query costs exactly what it did without the cache; warm queries
+// reuse the decoded vector at zero modeled cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/block_codec.h"
+#include "index/inverted_index.h"
+#include "util/lru_cache.h"
+
+namespace griffin::cpu {
+
+class DecodedCache {
+ public:
+  /// byte_budget = 0 disables the cache.
+  explicit DecodedCache(std::uint64_t byte_budget) : cache_(0, byte_budget) {}
+
+  /// Host footprint of a decoded list: the DocId array plus bookkeeping.
+  static std::uint64_t entry_bytes(std::size_t n) {
+    return 64 + n * sizeof(codec::DocId);
+  }
+
+  bool enabled() const { return cache_.enabled(); }
+  bool fits(std::uint64_t bytes) const { return cache_.fits(bytes); }
+
+  /// Counts a hit/miss and refreshes recency.
+  const std::vector<codec::DocId>* lookup(index::TermId t) {
+    return cache_.lookup(t);
+  }
+
+  /// Stat-free residency probe for the scheduler (core::StepShape).
+  bool resident(index::TermId t) const { return cache_.peek(t) != nullptr; }
+
+  const std::vector<codec::DocId>* insert(index::TermId t,
+                                          std::vector<codec::DocId> docs,
+                                          std::uint64_t* evicted = nullptr) {
+    const std::uint64_t bytes = entry_bytes(docs.size());
+    return cache_.insert(t, std::move(docs), bytes, evicted);
+  }
+
+  std::uint64_t bytes() const { return cache_.bytes(); }
+  std::uint64_t byte_budget() const { return cache_.byte_budget(); }
+  std::size_t size() const { return cache_.size(); }
+  const util::LruStats& stats() const { return cache_.stats(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  util::ByteLruCache<index::TermId, std::vector<codec::DocId>> cache_;
+};
+
+}  // namespace griffin::cpu

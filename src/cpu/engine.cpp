@@ -2,9 +2,6 @@
 
 #include <algorithm>
 
-#include "cpu/decode.h"
-#include "cpu/intersect.h"
-
 namespace griffin::cpu {
 
 core::QueryResult CpuEngine::execute(const core::Query& q) {
@@ -19,43 +16,15 @@ core::QueryResult CpuEngine::execute(const core::Query& q) {
               return idx_->list(a).size() < idx_->list(b).size();
             });
 
-  std::vector<codec::DocId> current, next;
+  std::vector<codec::DocId> current;
 
   if (terms.size() == 1) {
-    sim::CpuCostAccumulator acc(spec_);
-    decode_all(idx_->list(terms[0]).docids, current, acc);
-    m.add_stage(acc.time(), &m.decode);
+    stepper_.decode_single(terms[0], current, m);
   } else {
-    // First pair: both sides compressed.
-    const auto& l0 = idx_->list(terms[0]).docids;
-    const auto& l1 = idx_->list(terms[1]).docids;
-    sim::CpuCostAccumulator acc(spec_);
-    const double ratio = static_cast<double>(l1.size()) /
-                         static_cast<double>(l0.size());
-    if (ratio >= opt_.skip_ratio) {
-      std::vector<codec::DocId> probes;
-      decode_all(l0, probes, acc);
-      skip_intersect(probes, l1, current, acc, opt_.ef_random_access);
-    } else {
-      merge_intersect(l0, l1, current, acc);
-    }
-    m.placements.push_back(core::Placement::kCpu);
-    m.add_stage(acc.time(), &m.intersect);
-
+    stepper_.first_pair(terms[0], terms[1], current, m);
     // Remaining lists against the shrinking intermediate result.
     for (std::size_t i = 2; i < terms.size() && !current.empty(); ++i) {
-      const auto& li = idx_->list(terms[i]).docids;
-      sim::CpuCostAccumulator step(spec_);
-      const double r = static_cast<double>(li.size()) /
-                       static_cast<double>(current.size());
-      if (r >= opt_.skip_ratio) {
-        skip_intersect(current, li, next, step, opt_.ef_random_access);
-      } else {
-        merge_intersect(current, li, next, step);
-      }
-      current.swap(next);
-      m.placements.push_back(core::Placement::kCpu);
-      m.add_stage(step.time(), &m.intersect);
+      stepper_.next_step(current, terms[i], m);
     }
   }
 

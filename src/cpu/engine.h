@@ -7,6 +7,8 @@
 
 #include "core/query.h"
 #include "cpu/bm25.h"
+#include "cpu/decoded_cache.h"
+#include "cpu/svs_step.h"
 #include "sim/hardware_spec.h"
 
 namespace griffin::cpu {
@@ -17,6 +19,9 @@ struct CpuEngineOptions {
   /// Charge EF in-block random access in the skip path (an improvement over
   /// the paper's PForDelta-era CPU baseline; see cpu/intersect.h).
   bool ef_random_access = false;
+  /// Host-memory budget for the decoded-postings cache
+  /// (cpu/decoded_cache.h); 0 disables it.
+  std::size_t decoded_cache_bytes = std::size_t{1} << 30;
   Bm25Params bm25;
 };
 
@@ -24,17 +29,26 @@ class CpuEngine : public core::Engine {
  public:
   CpuEngine(const index::InvertedIndex& idx, sim::CpuSpec spec = {},
             CpuEngineOptions opt = {})
-      : idx_(&idx), spec_(spec), opt_(opt), scorer_(idx, opt.bm25) {}
+      : idx_(&idx),
+        spec_(spec),
+        opt_(opt),
+        cache_(opt.decoded_cache_bytes),
+        stepper_(idx, spec, SvsOptions{opt.skip_ratio, opt.ef_random_access},
+                 &cache_),
+        scorer_(idx, opt.bm25) {}
 
   core::QueryResult execute(const core::Query& q) override;
   std::string name() const override { return "cpu"; }
 
   const sim::CpuSpec& spec() const { return spec_; }
+  const DecodedCache& decoded_cache() const { return cache_; }
 
  private:
   const index::InvertedIndex* idx_;
   sim::CpuSpec spec_;
   CpuEngineOptions opt_;
+  DecodedCache cache_;
+  SvsStepper stepper_;
   Bm25Scorer scorer_;
 };
 

@@ -178,4 +178,41 @@ void skip_intersect(std::span<const DocId> probes,
   }
 }
 
+void skip_intersect(std::span<const DocId> probes,
+                    std::span<const DocId> target, std::vector<DocId>& out,
+                    sim::CpuCostAccumulator& acc) {
+  out.clear();
+  if (probes.empty() || target.empty()) return;
+  std::size_t cur = 0;  // search front (probes ascend, so it only advances)
+  std::uint64_t steps = 0;
+  for (const DocId p : probes) {
+    if (cur >= target.size()) break;
+    // Gallop from the front, then binary-search the bracketed range.
+    std::size_t step = 1;
+    std::size_t lo = cur;
+    while (lo + step < target.size() && target[lo + step] < p) {
+      lo += step;
+      step <<= 1;
+      ++steps;
+    }
+    std::size_t l = lo, r = std::min(lo + step + 1, target.size());
+    while (l < r) {
+      const std::size_t mid = (l + r) / 2;
+      if (target[mid] < p) {
+        l = mid + 1;
+      } else {
+        r = mid;
+      }
+      ++steps;
+    }
+    cur = l;
+    if (cur < target.size() && target[cur] == p) {
+      out.push_back(p);
+      ++cur;
+    }
+  }
+  charge_binary_steps(acc, steps);
+  acc.add_bytes(steps * sizeof(DocId));
+}
+
 }  // namespace griffin::cpu

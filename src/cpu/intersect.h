@@ -42,6 +42,13 @@ void skip_intersect(std::span<const DocId> probes,
                     const BlockCompressedList& target, std::vector<DocId>& out,
                     sim::CpuCostAccumulator& acc, bool ef_random_access = false);
 
+/// Decoded probes × *decoded* target (the host decoded-postings cache holds
+/// the target): the same galloping + binary search over a plain sorted
+/// array. No block decode is ever charged — that is exactly what the cache
+/// saves — only the search steps and the touched bytes.
+void skip_intersect(std::span<const DocId> probes, std::span<const DocId> target,
+                    std::vector<DocId>& out, sim::CpuCostAccumulator& acc);
+
 /// Binary search cost helper shared by the skip variants: `steps` probe steps
 /// of a branchy binary search.
 void charge_binary_steps(sim::CpuCostAccumulator& acc, std::uint64_t steps);

@@ -1,0 +1,87 @@
+// The pairwise SvS intersection step shared by the CPU-only engine
+// (cpu/engine.cpp) and the hybrid engine's CPU steps (core/hybrid_engine.cpp),
+// which previously re-implemented it. One stepper owns the per-pair choice
+// between the sequential merge and the skip-pointer binary search (chosen by
+// the length ratio, paper §2.1.2/§2.2), the stage/placement accounting, and
+// the optional host decoded-postings cache (cpu/decoded_cache.h).
+//
+// Cache interplay, chosen so a cold query costs exactly what it does with
+// the cache off:
+//   - skip path: the probe side is decoded via the cache (decode_all already
+//     ran there, so a fill is free); the *target* is only consulted — a hit
+//     switches to the decoded-array search, a miss keeps the compressed
+//     skip search (decoding a long target would defeat skipping);
+//   - merge path: both sides are consulted but never filled (the block-wise
+//     merge never materializes a decoded list, so a fill would add cost);
+//   - single-term queries decode via the cache.
+// At most one cache insert happens per step, and always before any other
+// returned span is taken, so spans never dangle (see util/lru_cache.h).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/query.h"
+#include "cpu/decoded_cache.h"
+#include "sim/cpu_cost_model.h"
+#include "sim/hardware_spec.h"
+
+namespace griffin::cpu {
+
+struct SvsOptions {
+  /// Use skip_intersect when |longer| / |shorter| >= this; merge otherwise.
+  double skip_ratio = 32.0;
+  /// Charge EF in-block random access in the compressed skip path.
+  bool ef_random_access = false;
+};
+
+class SvsStepper {
+ public:
+  /// `cache` may be nullptr (or disabled): behavior and charges then match
+  /// the pre-cache engines exactly.
+  SvsStepper(const index::InvertedIndex& idx, sim::CpuSpec spec,
+             SvsOptions opt, DecodedCache* cache)
+      : idx_(&idx), spec_(spec), opt_(opt), cache_(cache) {}
+
+  /// First pair of a query: both sides are full lists, |a| <= |b|.
+  /// Charges m.intersect and records a kCpu placement.
+  void first_pair(index::TermId a, index::TermId b,
+                  std::vector<codec::DocId>& out, core::QueryMetrics& m);
+
+  /// Intersects the current (decoded) intermediate with list t in place.
+  void next_step(std::vector<codec::DocId>& current, index::TermId t,
+                 core::QueryMetrics& m);
+
+  /// Single-term query: decodes the whole list. Charges m.decode.
+  void decode_single(index::TermId t, std::vector<codec::DocId>& out,
+                     core::QueryMetrics& m);
+
+  /// Stat-free residency probe (core::StepShape::longer_host_decoded).
+  bool host_decoded(index::TermId t) const {
+    return cache_ != nullptr && cache_->resident(t);
+  }
+
+  const SvsOptions& options() const { return opt_; }
+
+ private:
+  bool cache_on() const { return cache_ != nullptr && cache_->enabled(); }
+
+  /// Decodes list t, serving and filling the cache when enabled. The
+  /// returned span points either into the cache or into `scratch`.
+  std::span<const codec::DocId> decode_via_cache(
+      index::TermId t, std::vector<codec::DocId>& scratch,
+      sim::CpuCostAccumulator& acc, core::QueryMetrics& m);
+
+  /// Lookup-only (never fills): the cached decoded list or nullptr.
+  const std::vector<codec::DocId>* cached_only(index::TermId t,
+                                               core::QueryMetrics& m);
+
+  const index::InvertedIndex* idx_;
+  sim::CpuSpec spec_;
+  SvsOptions opt_;
+  DecodedCache* cache_;
+  std::vector<codec::DocId> probe_scratch_;
+  std::vector<codec::DocId> out_scratch_;
+};
+
+}  // namespace griffin::cpu

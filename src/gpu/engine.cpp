@@ -5,12 +5,23 @@
 
 namespace griffin::gpu {
 
+namespace {
+/// Cache budget: device memory minus the per-query working-set headroom.
+std::uint64_t list_cache_budget(const sim::HardwareSpec& hw,
+                                const GpuOptions& opt) {
+  if (!opt.list_cache) return 0;
+  if (hw.pcie.device_mem_bytes <= opt.list_cache_headroom_bytes) return 0;
+  return hw.pcie.device_mem_bytes - opt.list_cache_headroom_bytes;
+}
+}  // namespace
+
 GpuExecutor::GpuExecutor(const index::InvertedIndex& idx, sim::HardwareSpec hw,
                          GpuOptions opt)
     : idx_(&idx),
       hw_(hw),
       opt_(opt),
       device_(hw.gpu, hw.pcie.device_mem_bytes),
+      cache_(list_cache_budget(hw, opt)),
       cost_(hw.gpu),
       link_([&] {
         sim::PcieSpec spec = hw.pcie;
@@ -37,18 +48,47 @@ void GpuExecutor::charge_ledger(const pcie::TransferLedger& ledger,
   m.add_stage(ledger.total, &m.transfer);
 }
 
+GpuExecutor::AcquiredList GpuExecutor::acquire_full(index::TermId t,
+                                                    core::QueryMetrics& m) {
+  AcquiredList a;
+  a.term = t;
+  if (cache_.enabled()) {
+    if (const DeviceList* hit = cache_.lookup(t)) {
+      ++m.cache.device_hits;  // transfer + allocation charges skipped
+      a.list = hit;
+      return a;
+    }
+    ++m.cache.device_misses;
+  }
+  pcie::TransferLedger ledger;
+  a.owned.emplace(upload_list(device_, idx_->list(t).docids, link_, ledger));
+  charge_ledger(ledger, m);
+  a.list = &*a.owned;
+  a.cache_on_commit =
+      cache_.enabled() && cache_.fits(DeviceListCache::entry_bytes(*a.owned));
+  return a;
+}
+
+void GpuExecutor::commit(AcquiredList&& a, core::QueryMetrics& m) {
+  if (!a.cache_on_commit || !a.owned.has_value()) return;
+  std::uint64_t evicted = 0;
+  cache_.insert(a.term, std::move(*a.owned), &evicted);
+  m.cache.device_evictions += evicted;
+}
+
 simt::DeviceBuffer<DocId> GpuExecutor::decode_full_list(index::TermId t,
                                                         core::QueryMetrics& m) {
   const auto& list = idx_->list(t).docids;
+  AcquiredList a = acquire_full(t, m);
   pcie::TransferLedger ledger;
-  DeviceList dlist = upload_list(device_, list, link_, ledger);
   auto out = device_.alloc<DocId>(list.size());
   ledger.add_alloc(link_);
   charge_ledger(ledger, m);
 
   const sim::KernelStats s =
-      ef_decode_range(device_, dlist, 0, dlist.num_blocks(), out);
+      ef_decode_range(device_, *a.list, 0, a.list->num_blocks(), out);
   charge_kernel(s, &m.decode, m);
+  commit(std::move(a), m);
   return out;
 }
 
@@ -68,7 +108,18 @@ void GpuExecutor::intersect_first(index::TermId a, index::TermId b,
     auto db = decode_full_list(b, m);
     r = mergepath_intersect(device_, da, la.size(), db, lb.size(), link_,
                             ledger);
+  } else if (const DeviceList* resident =
+                 cache_.enabled() ? cache_.lookup(b) : nullptr) {
+    // The long list is already fully device-resident: no transfers at all,
+    // and the payload needs no deferred block charging.
+    ++m.cache.device_hits;
+    r = binary_search_intersect(device_, da, la.size(), *resident, link_,
+                                ledger, /*deferred_payload=*/false);
   } else {
+    // Miss: the deferred upload moves only the skip table plus candidate
+    // blocks (§3.1.2), so the payload is never fully paid for — such a
+    // partially transferred list must not enter the cache.
+    if (cache_.enabled()) ++m.cache.device_misses;
     DeviceList dlist = upload_list(device_, lb, link_, ledger,
                                    /*defer_payload=*/true);
     r = binary_search_intersect(device_, da, la.size(), dlist, link_, ledger,
@@ -96,7 +147,13 @@ void GpuExecutor::intersect_next(index::TermId t, core::QueryMetrics& m) {
     auto dt = decode_full_list(t, m);
     r = mergepath_intersect(device_, current_, current_count_, dt, lt.size(),
                             link_, ledger);
+  } else if (const DeviceList* resident =
+                 cache_.enabled() ? cache_.lookup(t) : nullptr) {
+    ++m.cache.device_hits;
+    r = binary_search_intersect(device_, current_, current_count_, *resident,
+                                link_, ledger, /*deferred_payload=*/false);
   } else {
+    if (cache_.enabled()) ++m.cache.device_misses;
     DeviceList dlist = upload_list(device_, lt, link_, ledger, true);
     r = binary_search_intersect(device_, current_, current_count_, dlist,
                                 link_, ledger, true);

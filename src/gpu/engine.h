@@ -14,6 +14,7 @@
 #include "gpu/binary_intersect.h"
 #include "gpu/device_list.h"
 #include "gpu/ef_decode.h"
+#include "gpu/list_cache.h"
 #include "gpu/mergepath.h"
 #include "pcie/link.h"
 #include "sim/gpu_cost_model.h"
@@ -30,6 +31,14 @@ struct GpuOptions {
   /// several allocations per step) is a one-time warmup cost in a serving
   /// system, not a per-query cost. Disable to charge every allocation.
   bool pooled_memory = true;
+  /// Keep fully uploaded compressed lists device-resident across queries in
+  /// an LRU (gpu/list_cache.h): hot terms skip the H2D payload transfer and
+  /// allocations the paper's §2.3 identifies as the GPU's handicap.
+  bool list_cache = true;
+  /// Device memory reserved for per-query working set (decoded outputs,
+  /// intermediates); the cache budget is device_mem_bytes minus this. A
+  /// headroom >= device memory disables the cache.
+  std::size_t list_cache_headroom_bytes = std::size_t{1} << 30;
 };
 
 /// Step-level GPU execution over one index. Holds the device, the cost
@@ -60,12 +69,30 @@ class GpuExecutor {
   bool has_intermediate() const { return current_count_ != kNoIntermediate; }
   std::uint64_t intermediate_count() const { return current_count_; }
 
+  /// True when term t's compressed list is resident in the device cache
+  /// (stat-free; feeds core::StepShape::longer_device_resident).
+  bool device_resident(index::TermId t) const { return cache_.resident(t); }
+
   simt::Device& device() { return device_; }
+  const DeviceListCache& list_cache() const { return cache_; }
   const sim::HardwareSpec& hw() const { return hw_; }
   const pcie::Link& link() const { return link_; }
 
  private:
   static constexpr std::uint64_t kNoIntermediate = ~std::uint64_t{0};
+
+  /// A fully uploaded list for one step: either a pointer into the cache
+  /// (hit) or an owned fresh upload (miss / cache disabled). The owned case
+  /// is handed to the cache by commit() *after* the step's kernels ran, so
+  /// an insert can never evict a list another pointer still references.
+  struct AcquiredList {
+    const DeviceList* list = nullptr;
+    std::optional<DeviceList> owned;
+    index::TermId term = 0;
+    bool cache_on_commit = false;
+  };
+  AcquiredList acquire_full(index::TermId t, core::QueryMetrics& m);
+  void commit(AcquiredList&& a, core::QueryMetrics& m);
 
   /// Uploads + Para-EF-decodes a full list; returns the decoded buffer.
   simt::DeviceBuffer<DocId> decode_full_list(index::TermId t,
@@ -78,6 +105,7 @@ class GpuExecutor {
   sim::HardwareSpec hw_;
   GpuOptions opt_;
   simt::Device device_;
+  DeviceListCache cache_;  // after device_: entries release device memory
   sim::GpuCostModel cost_;
   pcie::Link link_;
   simt::DeviceBuffer<DocId> current_;

@@ -5,11 +5,14 @@
 namespace griffin::service {
 
 std::vector<sim::Duration> measure_service_times(
-    core::Engine& engine, const std::vector<core::Query>& queries) {
+    core::Engine& engine, const std::vector<core::Query>& queries,
+    core::CacheCounters* cache) {
   std::vector<sim::Duration> times;
   times.reserve(queries.size());
   for (const auto& q : queries) {
-    times.push_back(engine.execute(q).metrics.total);
+    const auto res = engine.execute(q);
+    if (cache != nullptr) *cache += res.metrics.cache;
+    times.push_back(res.metrics.total);
   }
   return times;
 }
@@ -37,8 +40,11 @@ ServiceResult run_service(std::span<const sim::Duration> service_times,
 ServiceResult run_service(core::Engine& engine,
                           const std::vector<core::Query>& queries,
                           const ServiceConfig& cfg) {
-  const auto times = measure_service_times(engine, queries);
-  return run_service(std::span<const sim::Duration>(times), cfg);
+  core::CacheCounters cache;
+  const auto times = measure_service_times(engine, queries, &cache);
+  ServiceResult res = run_service(std::span<const sim::Duration>(times), cfg);
+  res.engine_cache = cache;
+  return res;
 }
 
 }  // namespace griffin::service

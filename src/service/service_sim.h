@@ -34,6 +34,9 @@ struct ServiceResult {
   util::PercentileTracker service_ms;   ///< engine latency alone
   double utilization = 0.0;             ///< busy fraction of the server
   std::uint64_t max_queue_depth = 0;
+  /// Engine cache-tier counters summed over the run (only filled by the
+  /// engine-executing overload of run_service; zero otherwise).
+  core::CacheCounters engine_cache;
 
   double mean_response_ms() const { return response_ms.mean(); }
 };
@@ -48,8 +51,11 @@ ServiceResult run_service(core::Engine& engine,
                           const std::vector<core::Query>& queries,
                           const ServiceConfig& cfg);
 
-/// One execution pass: the service-time vector for a query set.
+/// One execution pass: the service-time vector for a query set. When
+/// `cache` is non-null, the engines' per-query cache-tier counters are
+/// summed into it.
 std::vector<sim::Duration> measure_service_times(
-    core::Engine& engine, const std::vector<core::Query>& queries);
+    core::Engine& engine, const std::vector<core::Query>& queries,
+    core::CacheCounters* cache = nullptr);
 
 }  // namespace griffin::service

@@ -112,7 +112,10 @@ class Device {
   void upload(DeviceBuffer<T>& dst, std::span<const T> src,
               std::size_t dst_offset = 0) {
     assert(dst_offset + src.size() <= dst.size());
-    std::memcpy(dst.raw() + dst_offset, src.data(), src.size_bytes());
+    // An empty span's data() may be null, which memcpy forbids even for n=0.
+    if (!src.empty()) {
+      std::memcpy(dst.raw() + dst_offset, src.data(), src.size_bytes());
+    }
     h2d_bytes_ += src.size_bytes();
   }
 
@@ -121,7 +124,9 @@ class Device {
   void download(std::span<T> dst, const DeviceBuffer<T>& src,
                 std::size_t src_offset = 0) const {
     assert(src_offset + dst.size() <= src.size());
-    std::memcpy(dst.data(), src.raw() + src_offset, dst.size_bytes());
+    if (!dst.empty()) {
+      std::memcpy(dst.data(), src.raw() + src_offset, dst.size_bytes());
+    }
     d2h_bytes_ += dst.size_bytes();
   }
 

@@ -1,0 +1,143 @@
+// Generic byte-budgeted LRU cache shared by the repository's caching tiers
+// (gpu/list_cache.h, cpu/decoded_cache.h, cluster/result_cache.h): classic
+// doubly-linked-list + hash-map LRU with O(1) lookup/insert/evict, bounded
+// by an entry count, a byte budget, or both. The *caller* supplies the byte
+// size of each entry — values here are opaque (device buffers, decoded
+// vectors, merged top-k lists), only the accounting is shared.
+//
+// Lifetime contract: `lookup`/`peek`/`insert` return pointers into the
+// cache. A later `insert` may evict the pointed-to entry, so callers must
+// finish using a returned pointer before the next insert (the engines'
+// acquire -> use -> commit step ordering guarantees this).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace griffin::util {
+
+/// Lifetime counters of one cache instance (per-query deltas are tracked
+/// separately in core::CacheCounters).
+struct LruStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ByteLruCache {
+ public:
+  /// max_entries = 0 means no count bound; byte_budget = 0 means no byte
+  /// bound. Both zero disables the cache (inserts dropped, lookups miss).
+  ByteLruCache(std::size_t max_entries, std::uint64_t byte_budget)
+      : max_entries_(max_entries), byte_budget_(byte_budget) {}
+
+  bool enabled() const { return max_entries_ != 0 || byte_budget_ != 0; }
+
+  /// True iff an entry of `bytes` could ever be resident: an oversized
+  /// entry would evict the whole cache and still bust the budget, so
+  /// callers skip the insert for those.
+  bool fits(std::uint64_t bytes) const {
+    return enabled() && (byte_budget_ == 0 || bytes <= byte_budget_);
+  }
+
+  /// Returns the resident value and refreshes recency, or nullptr.
+  /// Counts a hit or a miss.
+  Value* lookup(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->value;
+  }
+
+  /// Residency probe: no stats, no recency refresh (the scheduler asks
+  /// "would this step hit?" without committing to the step).
+  const Value* peek(const Key& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->value;
+  }
+
+  /// Inserts (or replaces) an entry of `bytes` bytes, evicting from the LRU
+  /// tail until back under both bounds. Returns a pointer to the resident
+  /// value, or nullptr when the entry cannot be resident (`!fits`) — the
+  /// value is dropped in that case. `evicted`, when non-null, receives the
+  /// number of entries evicted by this insert.
+  Value* insert(const Key& key, Value value, std::uint64_t bytes,
+                std::uint64_t* evicted = nullptr) {
+    if (evicted != nullptr) *evicted = 0;
+    if (!fits(bytes)) return nullptr;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      bytes_ -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      bytes_ += bytes;
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.push_front(Entry{key, std::move(value), bytes});
+      map_.emplace(lru_.front().key, lru_.begin());
+      bytes_ += bytes;
+      ++stats_.insertions;
+    }
+    evict_to_bounds(evicted);
+    return &lru_.front().value;
+  }
+
+  std::size_t size() const { return lru_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+  std::size_t max_entries() const { return max_entries_; }
+  std::uint64_t byte_budget() const { return byte_budget_; }
+  const LruStats& stats() const { return stats_; }
+
+  void clear() {
+    lru_.clear();
+    map_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    std::uint64_t bytes = 0;
+  };
+  using Lru = std::list<Entry>;
+
+  void evict_to_bounds(std::uint64_t* evicted) {
+    // The `size() > 1` guard keeps the just-inserted front entry resident:
+    // `fits` already proved it can live within the budget alone.
+    while (over_bounds() && lru_.size() > 1) {
+      bytes_ -= lru_.back().bytes;
+      map_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.evictions;
+      if (evicted != nullptr) ++*evicted;
+    }
+  }
+
+  bool over_bounds() const {
+    return (max_entries_ != 0 && lru_.size() > max_entries_) ||
+           (byte_budget_ != 0 && bytes_ > byte_budget_);
+  }
+
+  std::size_t max_entries_;
+  std::uint64_t byte_budget_;
+  std::uint64_t bytes_ = 0;
+  Lru lru_;  // front = most recent
+  std::unordered_map<Key, typename Lru::iterator, Hash> map_;
+  LruStats stats_;
+};
+
+}  // namespace griffin::util

@@ -78,7 +78,9 @@ inline std::vector<core::ScoredDoc> reference_topk(
     const index::InvertedIndex& idx, const core::Query& q) {
   const auto matches = reference_matches(idx, q);
   cpu::Bm25Scorer scorer(idx);
-  sim::CpuCostAccumulator acc{sim::CpuSpec{}};
+  // The accumulator keeps a pointer to the spec, so it must outlive it.
+  const sim::CpuSpec spec{};
+  sim::CpuCostAccumulator acc{spec};
   std::vector<core::ScoredDoc> scored;
   scorer.score(q.terms, matches, scored, acc);
   cpu::top_k(scored, q.k, acc);

@@ -36,7 +36,9 @@ TEST(Partitioner, RangeIsContiguousAndCoversAll) {
   std::vector<std::uint64_t> counts(4, 0);
   for (std::size_t d = 0; d < map.size(); ++d) {
     ASSERT_LT(map[d], 4u);
-    if (d > 0) EXPECT_GE(map[d], map[d - 1]);
+    if (d > 0) {
+      EXPECT_GE(map[d], map[d - 1]);
+    }
     ++counts[map[d]];
   }
   for (const auto c : counts) EXPECT_GT(c, 0u);

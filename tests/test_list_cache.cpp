@@ -1,0 +1,203 @@
+// The device-resident posting-list cache (DESIGN.md §7): the generic
+// byte-budgeted LRU it is built on, and the GpuEngine integration — caching
+// is a pure cost optimization, so results must be bit-identical with the
+// cache on, off, cold, warm, and under eviction pressure.
+#include "util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine_test_util.h"
+#include "gpu/engine.h"
+
+using namespace griffin;
+
+using IntCache = util::ByteLruCache<int, std::string>;
+
+TEST(ByteLruCache, LookupRefreshesRecencyAndByteBudgetEvictsTail) {
+  IntCache cache(0, 100);
+  cache.insert(1, "a", 40);
+  cache.insert(2, "b", 40);
+  ASSERT_NE(cache.lookup(1), nullptr);  // 1 is now most recent
+  // 40+40+40 > 100: evicts the LRU tail, which is 2 (not 1).
+  std::uint64_t evicted = 0;
+  cache.insert(3, "c", 40, &evicted);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ByteLruCache, OversizedEntryIsDroppedNotInserted) {
+  IntCache cache(0, 100);
+  cache.insert(1, "small", 60);
+  EXPECT_FALSE(cache.fits(101));
+  EXPECT_EQ(cache.insert(2, "huge", 101), nullptr);
+  // The oversized insert neither stored the entry nor disturbed the rest.
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.bytes(), 60u);
+}
+
+TEST(ByteLruCache, EntryCountBoundEvicts) {
+  IntCache cache(2, 0);
+  cache.insert(1, "a", 1);
+  cache.insert(2, "b", 1);
+  cache.insert(3, "c", 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(1), nullptr);  // oldest gone
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+}
+
+TEST(ByteLruCache, DisabledCacheStoresNothing) {
+  IntCache cache(0, 0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.fits(1));
+  EXPECT_EQ(cache.insert(1, "a", 1), nullptr);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ByteLruCache, ReplaceUpdatesBytesAndKeepsSingleEntry) {
+  IntCache cache(0, 100);
+  cache.insert(1, "a", 30);
+  cache.insert(1, "bigger", 70);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 70u);
+  EXPECT_EQ(*cache.lookup(1), "bigger");
+}
+
+TEST(ByteLruCache, StatsCountHitsMissesInsertionsEvictions) {
+  IntCache cache(1, 0);
+  cache.lookup(7);          // miss
+  cache.insert(7, "a", 1);  // insertion
+  cache.lookup(7);          // hit
+  cache.insert(8, "b", 1);  // insertion + eviction of 7
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(ByteLruCache, PeekDoesNotTouchStatsOrRecency) {
+  IntCache cache(0, 100);
+  cache.insert(1, "a", 40);
+  cache.insert(2, "b", 40);
+  ASSERT_NE(cache.peek(1), nullptr);  // no recency refresh...
+  cache.insert(3, "c", 40);
+  EXPECT_EQ(cache.peek(1), nullptr);  // ...so 1 was still the LRU tail
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+// ---- GpuEngine integration ----
+
+namespace {
+
+/// Exact comparison: caching must not perturb a single bit of the output.
+void expect_bit_identical(const std::vector<core::ScoredDoc>& got,
+                          const std::vector<core::ScoredDoc>& want,
+                          const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].doc, want[i].doc) << label << " rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << label << " rank " << i;
+  }
+}
+
+std::vector<core::Query> repeated_log(std::uint32_t num_terms) {
+  workload::QueryLogConfig base;
+  workload::RepeatedLogConfig rep;
+  rep.num_queries = 60;
+  rep.unique_queries = 12;
+  rep.popularity_zipf_s = 1.2;
+  rep.seed = 99;
+  return workload::generate_repeated_query_log(base, rep, num_terms);
+}
+
+}  // namespace
+
+TEST(GpuListCache, BitIdenticalColdWarmAndDisabled) {
+  const auto& idx = testutil::small_index();
+  gpu::GpuOptions off;
+  off.list_cache = false;
+  gpu::GpuEngine uncached(idx, {}, off);
+  gpu::GpuEngine cached(idx);  // cache on by default
+
+  const auto log = repeated_log(static_cast<std::uint32_t>(idx.num_terms()));
+  core::CacheCounters totals;
+  for (const auto& q : log) {
+    const auto want = uncached.execute(q);
+    const auto got = cached.execute(q);  // cold first time, warm on repeats
+    expect_bit_identical(got.topk, want.topk, "gpu-list-cache");
+    EXPECT_EQ(got.metrics.result_count, want.metrics.result_count);
+    totals += got.metrics.cache;
+    EXPECT_EQ(want.metrics.cache.device_hits, 0u);  // cache off: no counters
+    EXPECT_EQ(want.metrics.cache.device_misses, 0u);
+  }
+  // The Zipf-repeated stream must actually warm the cache.
+  EXPECT_GT(totals.device_hits, 0u);
+  EXPECT_GT(totals.device_misses, 0u);
+}
+
+TEST(GpuListCache, WarmQueryIsCheaperAndHitsEveryList) {
+  const auto& idx = testutil::small_index();
+  gpu::GpuEngine engine(idx);
+  core::Query q;
+  q.terms = {0, 1, 5};  // heavy lists: upload cost matters
+
+  const auto cold = engine.execute(q);
+  const auto warm = engine.execute(q);
+  expect_bit_identical(warm.topk, cold.topk, "warm-vs-cold");
+  // Warm run: every list the GPU decode path touches is resident, so the
+  // transfer stage (upload + alloc) drops and total time strictly shrinks.
+  EXPECT_GT(warm.metrics.cache.device_hits, 0u);
+  EXPECT_LT(warm.metrics.transfer.ps(), cold.metrics.transfer.ps());
+  EXPECT_LT(warm.metrics.total.ps(), cold.metrics.total.ps());
+}
+
+TEST(GpuListCache, EvictionUnderPressureStaysCorrect) {
+  const auto& idx = testutil::small_index();
+  const std::size_t device_mem = sim::HardwareSpec{}.pcie.device_mem_bytes;
+  gpu::GpuOptions tight;
+  // Budget of 64 KiB: a few lists at most, so a varied stream churns.
+  tight.list_cache_headroom_bytes = device_mem - (std::size_t{64} << 10);
+  gpu::GpuEngine cached(idx, {}, tight);
+  gpu::GpuOptions off;
+  off.list_cache = false;
+  gpu::GpuEngine uncached(idx, {}, off);
+
+  const auto log = repeated_log(static_cast<std::uint32_t>(idx.num_terms()));
+  core::CacheCounters totals;
+  for (const auto& q : log) {
+    const auto got = cached.execute(q);
+    const auto want = uncached.execute(q);
+    expect_bit_identical(got.topk, want.topk, "post-eviction");
+    totals += got.metrics.cache;
+    // The budget holds at every step, not just at the end.
+    EXPECT_LE(cached.executor().list_cache().bytes(),
+              cached.executor().list_cache().byte_budget());
+  }
+  EXPECT_GT(totals.device_evictions, 0u);
+  EXPECT_GT(totals.device_hits, 0u);  // the hot head still hits
+}
+
+TEST(GpuListCache, DisabledByHeadroomLargerThanDeviceMemory) {
+  const auto& idx = testutil::small_index();
+  gpu::GpuOptions opt;
+  opt.list_cache_headroom_bytes = sim::HardwareSpec{}.pcie.device_mem_bytes;
+  gpu::GpuEngine engine(idx, {}, opt);
+  EXPECT_FALSE(engine.executor().list_cache().enabled());
+  core::Query q;
+  q.terms = {1, 2};
+  const auto res = engine.execute(q);
+  EXPECT_EQ(res.metrics.cache.device_hits, 0u);
+  EXPECT_EQ(res.metrics.cache.device_misses, 0u);
+}

@@ -87,3 +87,50 @@ TEST(ResultCache, ZeroCapacityDisables) {
   EXPECT_EQ(cache.lookup(k1), nullptr);
   EXPECT_EQ(cache.stats().insertions, 0u);
 }
+
+TEST(ResultCache, BytesTrackResidentEntries) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.bytes(), 0u);
+  const auto k1 = cluster::make_cache_key(make_query({1, 2}, 10));
+  const auto d1 = docs({5, 9, 11});
+  cache.insert(k1, d1);
+  EXPECT_EQ(cache.bytes(), ResultCache::entry_bytes(k1, d1));
+  // Refreshing with a differently sized top-k re-accounts, not accumulates.
+  const auto d2 = docs({5});
+  cache.insert(k1, d2);
+  EXPECT_EQ(cache.bytes(), ResultCache::entry_bytes(k1, d2));
+}
+
+TEST(ResultCache, ByteBudgetEvictsLeastRecentlyUsed) {
+  const auto k1 = cluster::make_cache_key(make_query({1}, 10));
+  const auto k2 = cluster::make_cache_key(make_query({2}, 10));
+  const auto k3 = cluster::make_cache_key(make_query({3}, 10));
+  const auto entry = docs({1, 2, 3, 4});
+  // Room for two entries of this shape, no count bound.
+  ResultCache cache(0, ResultCache::entry_bytes(k1, entry) * 2);
+  EXPECT_TRUE(cache.enabled());
+  cache.insert(k1, entry);
+  cache.insert(k2, entry);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.insert(k3, entry);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(k1), nullptr);  // evicted
+  EXPECT_NE(cache.lookup(k2), nullptr);
+  EXPECT_NE(cache.lookup(k3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}
+
+TEST(ResultCache, EntryLargerThanBudgetIsDropped) {
+  const auto k1 = cluster::make_cache_key(make_query({1}, 10));
+  const auto small = docs({1});
+  const auto big = docs({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  ResultCache cache(0, ResultCache::entry_bytes(k1, small) + 8);
+  cache.insert(k1, small);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto k2 = cluster::make_cache_key(make_query({2}, 10));
+  cache.insert(k2, big);  // cannot ever fit: dropped, not inserted
+  EXPECT_EQ(cache.lookup(k2), nullptr);
+  EXPECT_NE(cache.lookup(k1), nullptr);  // existing entry undisturbed
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}

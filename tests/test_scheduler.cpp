@@ -83,6 +83,56 @@ TEST(Scheduler, CostEstimatesReflectMigration) {
   EXPECT_LT(cpu_stay.ps(), cpu_move.ps());
 }
 
+TEST(Scheduler, DeviceResidencyRaisesRatioCrossover) {
+  Scheduler sched;  // threshold 128, resident boost 4x -> 512
+  StepShape s = shape(1000, 200'000);  // ratio 200: CPU when cold
+  EXPECT_EQ(sched.decide(s), Placement::kCpu);
+  s.longer_device_resident = true;  // no upload to pay: 200 < 512 -> GPU
+  EXPECT_EQ(sched.decide(s), Placement::kGpu);
+
+  StepShape far = shape(1000, 600'000);  // ratio 600 clears even 512
+  far.longer_device_resident = true;
+  EXPECT_EQ(sched.decide(far), Placement::kCpu);
+}
+
+TEST(Scheduler, HostDecodedLowersRatioCrossover) {
+  Scheduler sched;  // threshold 128, host-decoded scale 0.5x -> 64
+  StepShape s = shape(1000, 100'000);  // ratio 100: GPU when cold
+  EXPECT_EQ(sched.decide(s), Placement::kGpu);
+  s.longer_host_decoded = true;  // CPU decode already paid: 100 >= 64 -> CPU
+  EXPECT_EQ(sched.decide(s), Placement::kCpu);
+}
+
+TEST(Scheduler, ResidencyAwarenessCanBeDisabled) {
+  SchedulerOptions opt;
+  opt.residency_aware = false;
+  Scheduler sched(opt);
+  StepShape s = shape(1000, 200'000);
+  s.longer_device_resident = true;
+  s.longer_host_decoded = true;
+  EXPECT_EQ(sched.decide(s), Placement::kCpu);  // bits ignored: plain 128 rule
+}
+
+TEST(Scheduler, CostModelDropsTransferForDeviceResidentList) {
+  Scheduler sched;
+  const StepShape cold = shape(100'000, 200'000, Placement::kGpu);
+  StepShape warm = cold;
+  warm.longer_device_resident = true;
+  EXPECT_LT(sched.estimate_gpu(warm).ps(), sched.estimate_gpu(cold).ps());
+  // Device residency says nothing about the CPU side.
+  EXPECT_EQ(sched.estimate_cpu(warm).ps(), sched.estimate_cpu(cold).ps());
+}
+
+TEST(Scheduler, CostModelDropsDecodeForHostDecodedList) {
+  Scheduler sched;
+  const StepShape cold = shape(1'000'000, 2'000'000, Placement::kCpu);
+  StepShape warm = cold;
+  warm.longer_host_decoded = true;
+  EXPECT_LT(sched.estimate_cpu(warm).ps(), sched.estimate_cpu(cold).ps());
+  // Host residency says nothing about the GPU side.
+  EXPECT_EQ(sched.estimate_gpu(warm).ps(), sched.estimate_gpu(cold).ps());
+}
+
 TEST(Scheduler, CpuEstimateDropsSharplyAboveSkipRatio) {
   Scheduler sched;
   // Same long list; shrinking the short side below the skip threshold makes
