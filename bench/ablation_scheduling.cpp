@@ -3,11 +3,19 @@
 // al. [12] (1c: pick one processor per query from the first pair's ratio),
 // and Griffin's intra-query scheduling (1d) with both the ratio rule and the
 // cost-model extension.
+//
+// The bench drives everything through the engines' recorded plans
+// (QueryResult::trace): scheme 1c replays the first intersect step's
+// StepShape from the CPU pass through a residency-blind ratio Scheduler —
+// the exact decision a whole-query planner would make — and the second
+// table reports how each policy's executed steps split across processors.
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/hybrid_engine.h"
+#include "core/scheduler.h"
 #include "util/stats.h"
 
 using namespace griffin;
@@ -17,13 +25,41 @@ namespace {
 struct PolicyResult {
   double mean_ms = 0;
   double p95_ms = 0;
+  core::TraceSummary trace;
 };
 
 template <typename RunFn>
 PolicyResult run_policy(const std::vector<core::Query>& log, RunFn&& run) {
+  PolicyResult r;
   util::PercentileTracker ms;
-  for (const auto& q : log) ms.add(run(q));
-  return {ms.mean(), ms.percentile(95)};
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const core::QueryResult res = run(i, log[i]);
+    ms.add(res.metrics.total.ms());
+    r.trace.add(res.trace);
+  }
+  r.mean_ms = ms.mean();
+  r.p95_ms = ms.percentile(95);
+  return r;
+}
+
+void print_policy(const char* name, const PolicyResult& r) {
+  std::printf("%-28s %12.3f %12.3f %10.2f %6llu %6llu\n", name, r.mean_ms,
+              r.p95_ms, 100.0 * r.trace.gpu_intersect_fraction(),
+              static_cast<unsigned long long>(r.trace.transfer_steps),
+              static_cast<unsigned long long>(r.trace.migrations));
+}
+
+bench::Json policy_json(const char* name, const PolicyResult& r) {
+  bench::Json j = bench::Json::object();
+  j["policy"] = name;
+  j["mean_ms"] = r.mean_ms;
+  j["p95_ms"] = r.p95_ms;
+  j["steps"] = r.trace.steps;
+  j["cpu_intersects"] = r.trace.cpu_intersects;
+  j["gpu_intersects"] = r.trace.gpu_intersects;
+  j["transfer_steps"] = r.trace.transfer_steps;
+  j["migrations"] = r.trace.migrations;
+  return j;
 }
 
 }  // namespace
@@ -54,44 +90,72 @@ int main() {
   cost_opt.scheduler.policy = core::SchedulerPolicy::kCostModel;
   core::HybridEngine griffin_cost(idx, {}, cost_opt);
 
-  const auto r_cpu = run_policy(log, [&](const core::Query& q) {
-    return cpu_engine.execute(q).metrics.total.ms();
-  });
-  const auto r_gpu = run_policy(log, [&](const core::Query& q) {
-    return gpu_engine.execute(q).metrics.total.ms();
-  });
-  // 1(c): whole-query placement by the first pair's ratio — no migration.
-  const auto r_whole = run_policy(log, [&](const core::Query& q) {
-    std::vector<index::TermId> terms(q.terms);
-    std::sort(terms.begin(), terms.end(),
-              [&](index::TermId a, index::TermId b) {
-                return idx.list(a).size() < idx.list(b).size();
-              });
-    double ratio = 1.0;
-    if (terms.size() >= 2) {
-      ratio = static_cast<double>(idx.list(terms[1]).size()) /
-              static_cast<double>(idx.list(terms[0]).size());
+  // 1(a), which also records each query's first intersect shape — the input
+  // a whole-query placement policy sees.
+  std::vector<std::optional<core::StepShape>> first_shape(log.size());
+  const auto r_cpu = run_policy(log, [&](std::size_t i, const core::Query& q) {
+    auto res = cpu_engine.execute(q);
+    for (const auto& rec : res.trace) {
+      if (rec.kind == core::StepKind::kIntersect) {
+        first_shape[i] = rec.shape;
+        break;
+      }
     }
-    return ratio < 128.0 ? gpu_engine.execute(q).metrics.total.ms()
-                         : cpu_engine.execute(q).metrics.total.ms();
+    return res;
   });
-  const auto r_griffin = run_policy(log, [&](const core::Query& q) {
-    return griffin.execute(q).metrics.total.ms();
+  const auto r_gpu = run_policy(log, [&](std::size_t, const core::Query& q) {
+    return gpu_engine.execute(q);
   });
-  const auto r_cost = run_policy(log, [&](const core::Query& q) {
-    return griffin_cost.execute(q).metrics.total.ms();
+  // 1(c): whole-query placement from the recorded first-pair shape, decided
+  // by the paper's ratio rule with residency folded out (a one-shot planner
+  // has no cache state to consult). Single-term queries have no intersect
+  // step; ratio 1 puts them on the GPU.
+  core::SchedulerOptions whole_opt;
+  whole_opt.residency_aware = false;
+  const core::Scheduler whole(whole_opt);
+  const auto r_whole =
+      run_policy(log, [&](std::size_t i, const core::Query& q) {
+        const bool on_gpu =
+            !first_shape[i].has_value() ||
+            whole.decide(*first_shape[i]) == core::Placement::kGpu;
+        return on_gpu ? gpu_engine.execute(q) : cpu_engine.execute(q);
+      });
+  const auto r_griffin =
+      run_policy(log, [&](std::size_t, const core::Query& q) {
+        return griffin.execute(q);
+      });
+  const auto r_cost = run_policy(log, [&](std::size_t, const core::Query& q) {
+    return griffin_cost.execute(q);
   });
 
-  std::printf("%-28s %12s %12s\n", "policy", "mean (ms)", "p95 (ms)");
-  std::printf("%-28s %12.3f %12.3f\n", "CPU-only (1a)", r_cpu.mean_ms,
-              r_cpu.p95_ms);
-  std::printf("%-28s %12.3f %12.3f\n", "GPU-only (1b)", r_gpu.mean_ms,
-              r_gpu.p95_ms);
-  std::printf("%-28s %12.3f %12.3f\n", "whole-query hybrid (1c)",
-              r_whole.mean_ms, r_whole.p95_ms);
-  std::printf("%-28s %12.3f %12.3f\n", "Griffin ratio rule (1d)",
-              r_griffin.mean_ms, r_griffin.p95_ms);
-  std::printf("%-28s %12.3f %12.3f\n", "Griffin cost model (ext.)",
-              r_cost.mean_ms, r_cost.p95_ms);
+  std::printf("%-28s %12s %12s %10s %6s %6s\n", "policy", "mean (ms)",
+              "p95 (ms)", "GPU int %", "xfers", "migr");
+  print_policy("CPU-only (1a)", r_cpu);
+  print_policy("GPU-only (1b)", r_gpu);
+  print_policy("whole-query hybrid (1c)", r_whole);
+  print_policy("Griffin ratio rule (1d)", r_griffin);
+  print_policy("Griffin cost model (ext.)", r_cost);
+  std::printf(
+      "\nStep mix from the recorded plans: 1d ran %llu/%llu intersects on "
+      "the GPU with %llu mid-query migrations; 1c commits each query whole "
+      "(%llu migrations by construction).\n",
+      static_cast<unsigned long long>(r_griffin.trace.gpu_intersects),
+      static_cast<unsigned long long>(r_griffin.trace.gpu_intersects +
+                                      r_griffin.trace.cpu_intersects),
+      static_cast<unsigned long long>(r_griffin.trace.migrations),
+      static_cast<unsigned long long>(r_whole.trace.migrations));
+
+  bench::Json rows = bench::Json::array();
+  rows.push_back(policy_json("cpu_only", r_cpu));
+  rows.push_back(policy_json("gpu_only", r_gpu));
+  rows.push_back(policy_json("whole_query", r_whole));
+  rows.push_back(policy_json("griffin_ratio", r_griffin));
+  rows.push_back(policy_json("griffin_cost_model", r_cost));
+  bench::Json root = bench::Json::object();
+  root["bench"] = "ablation_scheduling";
+  root["fast_mode"] = bench::fast_mode();
+  root["queries"] = static_cast<std::uint64_t>(log.size());
+  root["policies"] = std::move(rows);
+  bench::write_bench_json("ablation_scheduling", root);
   return 0;
 }

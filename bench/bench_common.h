@@ -6,6 +6,8 @@
 //   GRIFFIN_FAST=1         shrink workloads ~10x (smoke-test mode)
 //   GRIFFIN_CACHE_DIR=...  corpus cache directory (default /tmp/griffin_bench)
 //   GRIFFIN_BENCH_JSON_DIR=...  where BENCH_<name>.json files go (default cwd)
+//   GRIFFIN_TRACE_DIR=...  when set, benches that support it write per-query
+//                          plan-step traces as <bench>.trace.jsonl there
 #pragma once
 
 #include <cmath>
@@ -17,6 +19,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/query.h"
 #include "index/io.h"
 #include "util/stats.h"
 #include "workload/corpus.h"
@@ -141,6 +144,13 @@ class Json {
     return out;
   }
 
+  /// Compact single-line form (no whitespace): one JSONL record per call.
+  std::string dump_line() const {
+    std::string out;
+    write_line(out);
+    return out;
+  }
+
  private:
   using Members = std::vector<std::pair<std::string, Json>>;
   using Elements = std::vector<Json>;
@@ -205,8 +215,137 @@ class Json {
     }
   }
 
+  void write_line(std::string& out) const {
+    if (std::holds_alternative<std::nullptr_t>(v_)) {
+      out += "null";
+    } else if (const bool* b = std::get_if<bool>(&v_)) {
+      out += *b ? "true" : "false";
+    } else if (const double* d = std::get_if<double>(&v_)) {
+      if (!std::isfinite(*d)) {
+        out += "null";
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", *d);
+        out += buf;
+      }
+    } else if (const std::string* s = std::get_if<std::string>(&v_)) {
+      write_escaped(out, *s);
+    } else if (const Elements* els = std::get_if<Elements>(&v_)) {
+      out += '[';
+      for (std::size_t i = 0; i < els->size(); ++i) {
+        if (i > 0) out += ',';
+        (*els)[i].write_line(out);
+      }
+      out += ']';
+    } else if (const Members* ms = std::get_if<Members>(&v_)) {
+      out += '{';
+      for (std::size_t i = 0; i < ms->size(); ++i) {
+        if (i > 0) out += ',';
+        write_escaped(out, (*ms)[i].first);
+        out += ':';
+        (*ms)[i].second.write_line(out);
+      }
+      out += '}';
+    }
+  }
+
   std::variant<std::nullptr_t, bool, double, std::string, Elements, Members>
       v_;
+};
+
+// ---- Plan-step traces (QueryResult::trace) as JSON ----
+
+inline const char* step_kind_name(core::StepKind k) {
+  switch (k) {
+    case core::StepKind::kDecode: return "decode";
+    case core::StepKind::kIntersect: return "intersect";
+    case core::StepKind::kTransfer: return "transfer";
+    case core::StepKind::kRank: return "rank";
+  }
+  return "?";
+}
+
+inline const char* placement_name(core::Placement p) {
+  return p == core::Placement::kGpu ? "gpu" : "cpu";
+}
+
+/// One StepRecord as a JSON object (durations in microseconds).
+inline Json step_json(const core::StepRecord& r) {
+  Json j = Json::object();
+  j["kind"] = step_kind_name(r.kind);
+  j["placement"] = placement_name(r.placement);
+  if (r.kind == core::StepKind::kDecode ||
+      r.kind == core::StepKind::kIntersect) {
+    j["term"] = static_cast<std::uint64_t>(r.term);
+  }
+  if (r.kind == core::StepKind::kIntersect) {
+    j["shorter"] = r.shape.shorter;
+    j["longer"] = r.shape.longer;
+    j["longer_device_resident"] = r.shape.longer_device_resident;
+    j["longer_host_decoded"] = r.shape.longer_host_decoded;
+  }
+  if (r.kind == core::StepKind::kTransfer) j["migration"] = r.migration;
+  j["output_count"] = r.output_count;
+  if (r.gpu_kernels > 0) j["gpu_kernels"] = r.gpu_kernels;
+  j["us"] = r.duration.us();
+  if (r.decode.ps() > 0) j["decode_us"] = r.decode.us();
+  if (r.intersect.ps() > 0) j["intersect_us"] = r.intersect.us();
+  if (r.transfer.ps() > 0) j["transfer_us"] = r.transfer.us();
+  if (r.rank.ps() > 0) j["rank_us"] = r.rank.us();
+  return j;
+}
+
+/// JSONL sink for per-query plan traces, active only when GRIFFIN_TRACE_DIR
+/// is set. Each write() appends one line:
+///   {"engine":...,"query":N,"terms":T,"k":K,"total_us":...,"steps":[...]}
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& bench_name) {
+    const char* dir = std::getenv("GRIFFIN_TRACE_DIR");
+    if (dir == nullptr) return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    path_ = std::string(dir) + "/" + bench_name + ".trace.jsonl";
+    f_ = std::fopen(path_.c_str(), "w");
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "[bench] could not open %s\n", path_.c_str());
+    }
+  }
+  ~TraceWriter() {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+      std::fprintf(stderr, "[bench] wrote %s (%llu records)\n", path_.c_str(),
+                   static_cast<unsigned long long>(records_));
+    }
+  }
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool enabled() const { return f_ != nullptr; }
+
+  void write(const char* engine, std::uint64_t query_id, const core::Query& q,
+             const core::QueryResult& res) {
+    if (f_ == nullptr) return;
+    Json line = Json::object();
+    line["engine"] = engine;
+    line["query"] = query_id;
+    line["terms"] = static_cast<std::uint64_t>(q.terms.size());
+    line["k"] = static_cast<std::uint64_t>(q.k);
+    line["total_us"] = res.metrics.total.us();
+    line["results"] = res.metrics.result_count;
+    line["migrations"] = res.metrics.migrations;
+    Json steps = Json::array();
+    for (const auto& r : res.trace) steps.push_back(step_json(r));
+    line["steps"] = std::move(steps);
+    const std::string text = line.dump_line() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f_);
+    ++records_;
+  }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  std::uint64_t records_ = 0;
 };
 
 /// Latency distribution as a JSON object (ms units throughout the benches).

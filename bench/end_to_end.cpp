@@ -42,18 +42,31 @@ int main() {
               "CPU (ms)", "GPUonly(ms)", "Griffin(ms)", "Grif-cost(ms)",
               "vs CPU", "vs GPU");
 
+  // Per-query plan traces as JSONL when GRIFFIN_TRACE_DIR is set: one line
+  // per (engine, query) with every recorded step.
+  bench::TraceWriter trace_out("end_to_end");
+
   bench::Json group_rows = bench::Json::array();
   core::CacheCounters grif_cache;
   util::SummaryStats all_cpu, all_gpu, all_grif, all_cost;
+  std::uint64_t query_id = 0;
   for (const auto& [g, queries] : groups) {
     double cpu_ms = 0, gpu_ms = 0, grif_ms = 0, cost_ms = 0;
     for (const auto& q : queries) {
-      cpu_ms += cpu_engine.execute(q).metrics.total.ms();
-      gpu_ms += gpu_engine.execute(q).metrics.total.ms();
+      const auto cpu_res = cpu_engine.execute(q);
+      cpu_ms += cpu_res.metrics.total.ms();
+      const auto gpu_res = gpu_engine.execute(q);
+      gpu_ms += gpu_res.metrics.total.ms();
       const auto grif_res = griffin.execute(q);
       grif_ms += grif_res.metrics.total.ms();
       grif_cache += grif_res.metrics.cache;
-      cost_ms += griffin_cost.execute(q).metrics.total.ms();
+      const auto cost_res = griffin_cost.execute(q);
+      cost_ms += cost_res.metrics.total.ms();
+      trace_out.write("cpu", query_id, q, cpu_res);
+      trace_out.write("gpu_only", query_id, q, gpu_res);
+      trace_out.write("griffin", query_id, q, grif_res);
+      trace_out.write("griffin_cost_model", query_id, q, cost_res);
+      ++query_id;
     }
     const auto n = static_cast<double>(queries.size());
     cpu_ms /= n;

@@ -49,6 +49,9 @@ core::QueryResult ClusterBroker::execute(const core::Query& q) {
     out.metrics.gpu_kernels += part.metrics.gpu_kernels;
     out.metrics.migrations += part.metrics.migrations;
     out.metrics.cache += part.metrics.cache;
+    // The merged result's trace is the concatenation of the shard plans in
+    // shard order: every step the cluster executed for this query.
+    out.trace.insert(out.trace.end(), part.trace.begin(), part.trace.end());
     parts.push_back(std::move(part.topk));
   }
   out.topk = merge_topk(parts, q.k);
@@ -99,6 +102,7 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
       core::QueryResult part = node.execute(q);
       parts[s] = std::move(part.topk);
       res.engine_cache += part.metrics.cache;
+      res.trace.add(part.trace);
       sim::Duration svc = part.metrics.total;
       sim::Duration svc_primary = svc;
       if (cfg_.straggler.probability > 0.0 &&

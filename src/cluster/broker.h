@@ -74,6 +74,9 @@ struct ClusterResult {
   /// Shard-engine cache-tier counters (device list cache + host decoded
   /// cache), summed over every shard execution in the run.
   core::CacheCounters engine_cache;
+  /// Plan-step aggregate (QueryResult::trace) over every shard execution in
+  /// the run: how the cluster's work split across processors and stages.
+  core::TraceSummary trace;
   /// Resident bytes in the broker's result cache at the end of the run.
   std::uint64_t result_cache_bytes = 0;
   std::vector<double> shard_utilization;  ///< primary replica, per shard

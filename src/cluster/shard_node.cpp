@@ -4,18 +4,21 @@ namespace griffin::cluster {
 
 ShardNode::ShardNode(index::IndexShard shard, sim::HardwareSpec hw,
                      core::HybridOptions opt)
-    : shard_(std::move(shard)), engine_(shard_.index, hw, opt) {}
+    : shard_(std::move(shard)),
+      engine_(shard_.index, hw, opt),
+      absent_cost_(sim::Duration::from_us(hw.absent_term_probe_us)) {}
 
 core::QueryResult ShardNode::execute(const core::Query& q) {
   if (!shard_.translate_terms(q.terms, scratch_terms_)) {
     core::QueryResult empty;
-    empty.metrics.total = absent_term_cost();
+    empty.metrics.total = absent_cost_;
     return empty;
   }
   core::Query local = q;
   local.terms = scratch_terms_;
   core::QueryResult res = engine_.execute(local);
   cache_ += res.metrics.cache;
+  trace_.add(res.trace);
   return res;
 }
 

@@ -33,18 +33,25 @@ class ShardNode {
   const index::IndexShard& shard() const { return shard_; }
 
   /// Simulated cost of discovering a query term is absent from this shard's
-  /// dictionary (the short-circuit path of execute()).
-  static sim::Duration absent_term_cost() { return sim::Duration::from_us(2); }
+  /// dictionary (the short-circuit path of execute()); comes from
+  /// HardwareSpec::absent_term_probe_us.
+  sim::Duration absent_term_cost() const { return absent_cost_; }
 
   /// Engine cache-tier counters summed over every execute() on this node
   /// (the node's engine — and therefore its caches — is shared by all
   /// replicas, so this is the node's lifetime view).
   const core::CacheCounters& cache_counters() const { return cache_; }
 
+  /// Plan-step aggregate over every execute() on this node (same lifetime
+  /// view as the cache counters).
+  const core::TraceSummary& trace_summary() const { return trace_; }
+
  private:
   index::IndexShard shard_;
   core::HybridEngine engine_;
+  sim::Duration absent_cost_;
   core::CacheCounters cache_;
+  core::TraceSummary trace_;
   std::vector<index::TermId> scratch_terms_;
 };
 

@@ -1,0 +1,45 @@
+// The three engines' execute() methods, together in one TU to make the
+// refactor's point visible: each is the same planner/executor pair under a
+// different scheduler policy. kAlwaysCpu *is* the CPU-only engine,
+// kAlwaysGpu *is* Griffin-GPU, and the hybrid engine is whatever policy its
+// options carry (the paper's ratio rule by default). No engine owns a step
+// loop anymore — core/planner.cpp decides, core/executor.cpp runs.
+#include "core/executor.h"
+#include "core/hybrid_engine.h"
+#include "core/planner.h"
+
+namespace griffin::cpu {
+
+core::QueryResult CpuEngine::execute(const core::Query& q) {
+  core::SchedulerOptions sopt;
+  sopt.policy = core::SchedulerPolicy::kAlwaysCpu;
+  const core::Scheduler sched(sopt);  // hw is never read by kAlwaysCpu
+  core::StepExecutor exec(spec_, &stepper_, /*gpu=*/nullptr, scorer_);
+  core::Planner planner(*idx_, sched, exec);
+  return core::run_plan(planner, exec, q);
+}
+
+}  // namespace griffin::cpu
+
+namespace griffin::gpu {
+
+core::QueryResult GpuEngine::execute(const core::Query& q) {
+  core::SchedulerOptions sopt;
+  sopt.policy = core::SchedulerPolicy::kAlwaysGpu;
+  const core::Scheduler sched(sopt);
+  core::StepExecutor exec(hw_.cpu, /*svs=*/nullptr, &exec_, scorer_);
+  core::Planner planner(*idx_, sched, exec);
+  return core::run_plan(planner, exec, q);
+}
+
+}  // namespace griffin::gpu
+
+namespace griffin::core {
+
+QueryResult HybridEngine::execute(const Query& q) {
+  StepExecutor exec(hw_.cpu, &svs_, &exec_, scorer_);
+  Planner planner(*idx_, sched_, exec);
+  return run_plan(planner, exec, q);
+}
+
+}  // namespace griffin::core

@@ -1,0 +1,136 @@
+#include "core/executor.h"
+
+#include <cassert>
+
+namespace griffin::core {
+
+void StepExecutor::begin_query() {
+  host_current_.clear();
+  loc_.reset();
+  if (gpu_ != nullptr) gpu_->begin_query();
+}
+
+void StepExecutor::finish_query() {
+  if (gpu_ != nullptr) gpu_->begin_query();  // release device buffers
+}
+
+std::uint64_t StepExecutor::intermediate_count() const {
+  if (loc_ == Placement::kGpu) return gpu_->intermediate_count();
+  return host_current_.size();
+}
+
+void StepExecutor::dispatch(const PlanStep& step, const Query& q,
+                            QueryResult& res) {
+  QueryMetrics& m = res.metrics;
+  if (const auto* d = std::get_if<DecodeStep>(&step)) {
+    if (d->where == Placement::kGpu) {
+      assert(gpu_ != nullptr);
+      gpu_->load_single(d->term, m);
+      loc_ = Placement::kGpu;
+    } else {
+      assert(svs_ != nullptr);
+      svs_->decode_single(d->term, host_current_, m);
+      loc_ = Placement::kCpu;
+    }
+    return;
+  }
+  if (const auto* i = std::get_if<IntersectStep>(&step)) {
+    if (i->where == Placement::kGpu) {
+      assert(gpu_ != nullptr);
+      if (i->first_pair) {
+        gpu_->intersect_first(i->probe_term, i->term, m);
+      } else {
+        gpu_->intersect_next(i->term, m);
+      }
+      loc_ = Placement::kGpu;
+    } else {
+      assert(svs_ != nullptr);
+      if (i->first_pair) {
+        svs_->first_pair(i->probe_term, i->term, host_current_, m);
+      } else {
+        svs_->next_step(host_current_, i->term, m);
+      }
+      loc_ = Placement::kCpu;
+    }
+    return;
+  }
+  if (const auto* t = std::get_if<TransferStep>(&step)) {
+    assert(gpu_ != nullptr);
+    if (t->direction == TransferDirection::kHostToDevice) {
+      gpu_->upload_intermediate(host_current_, m);
+      loc_ = Placement::kGpu;
+    } else {
+      host_current_ = gpu_->download_intermediate(m);
+      loc_ = Placement::kCpu;
+    }
+    if (t->migration) ++m.migrations;
+    return;
+  }
+  // RankStep: BM25 + partial_sort on the host. Scoring uses the query's
+  // original term order, not the SvS length order: float accumulation order
+  // is then a property of the query alone, so a document-partitioned shard
+  // (whose local list lengths differ) produces bit-identical scores to the
+  // unpartitioned index (cluster/broker.h).
+  m.result_count = host_current_.size();
+  sim::CpuCostAccumulator rank(rank_spec_);
+  scorer_->score(q.terms, host_current_, res.topk, rank);
+  cpu::top_k(res.topk, q.k, rank);
+  m.add_stage(rank.time(), &m.rank);
+}
+
+void StepExecutor::run(const PlanStep& step, const Query& q,
+                       QueryResult& res) {
+  const QueryMetrics& m = res.metrics;
+  StepRecord rec;
+  const sim::Duration total0 = m.total;
+  const sim::Duration decode0 = m.decode;
+  const sim::Duration intersect0 = m.intersect;
+  const sim::Duration transfer0 = m.transfer;
+  const sim::Duration rank0 = m.rank;
+  const std::uint64_t kernels0 = m.gpu_kernels;
+
+  dispatch(step, q, res);
+
+  if (const auto* d = std::get_if<DecodeStep>(&step)) {
+    rec.kind = StepKind::kDecode;
+    rec.placement = d->where;
+    rec.term = d->term;
+  } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
+    rec.kind = StepKind::kIntersect;
+    rec.placement = i->where;
+    rec.term = i->term;
+    rec.shape = i->shape;
+  } else if (const auto* t = std::get_if<TransferStep>(&step)) {
+    rec.kind = StepKind::kTransfer;
+    rec.placement = t->direction == TransferDirection::kHostToDevice
+                        ? Placement::kGpu
+                        : Placement::kCpu;
+    rec.migration = t->migration;
+  } else {
+    rec.kind = StepKind::kRank;
+    rec.placement = Placement::kCpu;
+  }
+  rec.output_count = intermediate_count();
+  rec.gpu_kernels = m.gpu_kernels - kernels0;
+  rec.duration = m.total - total0;
+  rec.decode = m.decode - decode0;
+  rec.intersect = m.intersect - intersect0;
+  rec.transfer = m.transfer - transfer0;
+  rec.rank = m.rank - rank0;
+  res.trace.push_back(rec);
+}
+
+QueryResult run_plan(Planner& planner, StepExecutor& exec, const Query& q) {
+  QueryResult res;
+  if (q.terms.empty()) return res;
+  exec.begin_query();
+  planner.begin(q);
+  while (const auto step = planner.next(exec.intermediate_count(),
+                                        exec.location())) {
+    exec.run(*step, q, res);
+  }
+  exec.finish_query();
+  return res;
+}
+
+}  // namespace griffin::core

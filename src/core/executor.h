@@ -1,0 +1,76 @@
+// The shared step executor (DESIGN.md §8): runs one physical plan step at a
+// time, dispatching CPU steps to cpu::SvsStepper, GPU steps to
+// gpu::GpuExecutor, and transfer steps to the PCIe link the GpuExecutor
+// owns. Either backend may be absent (the CPU-only engine has no
+// GpuExecutor, the GPU-only engine no SvsStepper) — the degenerate
+// scheduler policies guarantee the corresponding steps are never planned.
+//
+// Every run() appends a StepRecord to QueryResult::trace by snapshotting
+// the QueryMetrics stage totals around the dispatch, so per-step durations
+// sum to the stage totals *by construction* — the backends' charging code
+// is untouched, which is what keeps execution bit-identical to the
+// pre-plan-layer engines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/planner.h"
+#include "core/query.h"
+#include "cpu/bm25.h"
+#include "cpu/svs_step.h"
+#include "gpu/engine.h"
+
+namespace griffin::core {
+
+class StepExecutor : public ResidencyProbe {
+ public:
+  /// `svs` and/or `gpu` may be nullptr when the scheduler policy can never
+  /// place a step on that backend. `scorer` and the rank spec are always
+  /// required (ranking is unconditionally CPU-side).
+  StepExecutor(sim::CpuSpec rank_spec, cpu::SvsStepper* svs,
+               gpu::GpuExecutor* gpu, const cpu::Bm25Scorer& scorer)
+      : rank_spec_(rank_spec), svs_(svs), gpu_(gpu), scorer_(&scorer) {}
+
+  /// Resets per-query state (host intermediate, device buffers).
+  void begin_query();
+
+  /// Executes one step: charges res.metrics through the backend and appends
+  /// the StepRecord to res.trace.
+  void run(const PlanStep& step, const Query& q, QueryResult& res);
+
+  /// Releases device buffers after the plan completes (mirrors the
+  /// engines' trailing begin_query()).
+  void finish_query();
+
+  /// Current intermediate-result size, wherever it lives.
+  std::uint64_t intermediate_count() const;
+  /// Where the intermediate lives; nullopt before the first step.
+  std::optional<Placement> location() const { return loc_; }
+
+  // ResidencyProbe: stat-free cache probes for the planner's StepShapes.
+  bool device_resident(index::TermId t) const override {
+    return gpu_ != nullptr && gpu_->device_resident(t);
+  }
+  bool host_decoded(index::TermId t) const override {
+    return svs_ != nullptr && svs_->host_decoded(t);
+  }
+
+ private:
+  void dispatch(const PlanStep& step, const Query& q, QueryResult& res);
+
+  sim::CpuSpec rank_spec_;
+  cpu::SvsStepper* svs_;
+  gpu::GpuExecutor* gpu_;
+  const cpu::Bm25Scorer* scorer_;
+  std::vector<codec::DocId> host_current_;  ///< valid when loc_ == kCpu
+  std::optional<Placement> loc_;
+};
+
+/// The shared driver loop: plans and executes one query start to finish.
+/// All three engines' execute() methods are exactly this call.
+QueryResult run_plan(Planner& planner, StepExecutor& exec, const Query& q);
+
+}  // namespace griffin::core

@@ -3,6 +3,11 @@
 // pairwise intersection the scheduler re-evaluates with the shrunken
 // intermediate result, and execution migrates (GPU -> CPU, paying the PCIe
 // transfer) when the characteristics flip. Ranking always runs on the CPU.
+//
+// Since the plan/execute decomposition (DESIGN.md §8) this class is a thin
+// driver: execute() hands the query to the shared Planner + StepExecutor
+// (core/planner.h, core/executor.h) with this engine's scheduler; the CPU-
+// and GPU-only engines are the same driver under the degenerate policies.
 #pragma once
 
 #include <vector>
@@ -43,9 +48,6 @@ class HybridEngine : public Engine {
   const cpu::DecodedCache& decoded_cache() const { return host_cache_; }
 
  private:
-  StepShape shape_for(std::uint64_t shorter, index::TermId longer_term,
-                      std::optional<Placement> loc) const;
-
   const index::InvertedIndex* idx_;
   sim::HardwareSpec hw_;
   HybridOptions opt_;

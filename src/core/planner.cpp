@@ -1,0 +1,104 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+namespace griffin::core {
+
+StepShape Planner::shape_for(std::uint64_t shorter, index::TermId longer_term,
+                             std::optional<Placement> location) const {
+  StepShape s;
+  s.shorter = shorter;
+  s.longer = idx_->list(longer_term).size();
+  s.longer_bytes = idx_->list(longer_term).docids.compressed_bytes();
+  // Residency bits from the two cache tiers: cold caches leave both false,
+  // so the first queries decide exactly as the paper's rule does.
+  s.longer_device_resident = probe_->device_resident(longer_term);
+  s.longer_host_decoded = probe_->host_decoded(longer_term);
+  s.current_location = location;
+  return s;
+}
+
+void Planner::begin(const Query& q) {
+  terms_.assign(q.terms.begin(), q.terms.end());
+  std::sort(terms_.begin(), terms_.end(),
+            [&](index::TermId a, index::TermId b) {
+              return idx_->list(a).size() < idx_->list(b).size();
+            });
+  next_term_ = 0;
+  stage_ = terms_.empty() ? Stage::kDone : Stage::kStart;
+}
+
+std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
+                                      std::optional<Placement> location) {
+  if (stage_ == Stage::kStart) {
+    if (terms_.size() == 1) {
+      // Ranking is host-side (paper Figure 7), so a single-term query
+      // decodes on the host — a GPU decode would round-trip the whole list
+      // over PCIe for nothing. Only the static GPU baseline (kAlwaysGpu,
+      // i.e. the GPU-only engine) is forced to the device.
+      const Placement where =
+          sched_->options().policy == SchedulerPolicy::kAlwaysGpu
+              ? Placement::kGpu
+              : Placement::kCpu;
+      stage_ = Stage::kDrain;
+      return DecodeStep{terms_[0], where};
+    }
+    // First pair: no intermediate yet, decide on the raw list lengths.
+    IntersectStep step;
+    step.term = terms_[1];
+    step.probe_term = terms_[0];
+    step.first_pair = true;
+    step.shape = shape_for(idx_->list(terms_[0]).size(), terms_[1],
+                           std::nullopt);
+    step.where = sched_->decide(step.shape);
+    next_term_ = 2;
+    stage_ = Stage::kIntersect;
+    return step;
+  }
+
+  if (stage_ == Stage::kPendingIntersect) {
+    stage_ = Stage::kIntersect;
+    return pending_;
+  }
+
+  if (stage_ == Stage::kIntersect) {
+    if (next_term_ >= terms_.size() || intermediate_count == 0) {
+      stage_ = Stage::kDrain;
+    } else {
+      IntersectStep step;
+      step.term = terms_[next_term_];
+      step.shape = shape_for(intermediate_count, terms_[next_term_], location);
+      step.where = sched_->decide(step.shape);
+      ++next_term_;
+      if (location.has_value() && step.where != *location) {
+        // Migrate first; the already-decided intersect stays pending (the
+        // decision is never re-evaluated at the new location).
+        pending_ = step;
+        stage_ = Stage::kPendingIntersect;
+        return TransferStep{step.where == Placement::kGpu
+                                ? TransferDirection::kHostToDevice
+                                : TransferDirection::kDeviceToHost,
+                            /*migration=*/true};
+      }
+      return step;
+    }
+  }
+
+  if (stage_ == Stage::kDrain) {
+    stage_ = Stage::kRank;
+    if (location == Placement::kGpu) {
+      // Final drain before host-side ranking; not a migration.
+      return TransferStep{TransferDirection::kDeviceToHost,
+                          /*migration=*/false};
+    }
+  }
+
+  if (stage_ == Stage::kRank) {
+    stage_ = Stage::kDone;
+    return RankStep{};
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace griffin::core

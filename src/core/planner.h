@@ -1,0 +1,92 @@
+// The incremental query planner (DESIGN.md §8). Wraps the Scheduler plus
+// the two cache-residency probes and emits the next physical step
+// (core/plan.h) from the current intermediate-result state — the planner is
+// where "which processor runs the next intersection" (paper §3.2) lives,
+// and nowhere else. The executor (core/executor.h) feeds the observed
+// intermediate size and location back in after every step, so plans react
+// to the actual selectivity of the query, exactly as the monolithic engine
+// loops used to.
+//
+// State machine (DESIGN.md §8 has the diagram):
+//
+//   Start ── 1 term ──> Decode ─────────────────────────┐
+//     │                                                 v
+//     └─ first pair ─> Intersect ─┬─> [Transfer] ─> Intersect ... ─┐
+//                                 │   (placement flip)             │
+//                                 └────── result empty ────────────┤
+//                                                                  v
+//                               [Transfer D2H if on GPU] ──> Rank ─> done
+//
+// A mid-query placement flip emits the Transfer first and holds the decided
+// Intersect pending — the decision is made once per step, before the
+// migration, never re-evaluated after it (re-deciding with the new location
+// could flip back and oscillate).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/query.h"
+#include "core/scheduler.h"
+
+namespace griffin::core {
+
+/// Stat-free cache-residency probes feeding StepShape's residency bits: the
+/// device-resident compressed-list cache (gpu/list_cache.h) and the host
+/// decoded-postings cache (cpu/decoded_cache.h). StepExecutor implements
+/// this over whichever backends it holds; absent backends report false,
+/// which reproduces the cold-cache (and cache-less) decisions exactly.
+class ResidencyProbe {
+ public:
+  virtual ~ResidencyProbe() = default;
+  virtual bool device_resident(index::TermId t) const = 0;
+  virtual bool host_decoded(index::TermId t) const = 0;
+};
+
+class Planner {
+ public:
+  Planner(const index::InvertedIndex& idx, const Scheduler& sched,
+          const ResidencyProbe& probe)
+      : idx_(&idx), sched_(&sched), probe_(&probe) {}
+
+  /// Starts planning a query: orders its terms shortest-list-first (SvS,
+  /// Culpepper & Moffat [11]) and resets the state machine.
+  void begin(const Query& q);
+
+  /// Emits the next step given the executed plan's current state: the
+  /// intermediate result's size and location (nullopt before any step ran).
+  /// Returns nullopt when the plan is complete (after RankStep).
+  std::optional<PlanStep> next(std::uint64_t intermediate_count,
+                               std::optional<Placement> location);
+
+  /// The StepShape the scheduler would decide on for intersecting an
+  /// intermediate of `shorter` docs at `location` with `longer_term` — the
+  /// probes fill the residency bits. Public so trace consumers (tests, the
+  /// scheduling ablation) can rebuild shapes the way the planner does.
+  StepShape shape_for(std::uint64_t shorter, index::TermId longer_term,
+                      std::optional<Placement> location) const;
+
+  const Scheduler& scheduler() const { return *sched_; }
+
+ private:
+  enum class Stage : std::uint8_t {
+    kStart,
+    kIntersect,         ///< choose + emit the next intersect (or finish)
+    kPendingIntersect,  ///< a transfer was emitted; its intersect is queued
+    kDrain,             ///< emit the final D2H transfer if still on GPU
+    kRank,
+    kDone,
+  };
+
+  const index::InvertedIndex* idx_;
+  const Scheduler* sched_;
+  const ResidencyProbe* probe_;
+  std::vector<index::TermId> terms_;  ///< shortest-first
+  std::size_t next_term_ = 0;
+  Stage stage_ = Stage::kDone;
+  IntersectStep pending_;  ///< valid in kPendingIntersect
+};
+
+}  // namespace griffin::core

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,104 @@ struct ScoredDoc {
 
 /// Where one intersection step ran — the scheduler's decision trail.
 enum class Placement : std::uint8_t { kCpu, kGpu };
+
+/// The step taxonomy of the physical-plan layer (core/plan.h holds the typed
+/// step structs; the kind tag lives here so trace records stay
+/// dependency-light).
+enum class StepKind : std::uint8_t { kDecode, kIntersect, kTransfer, kRank };
+
+/// One intersection step as the scheduler sees it (core/scheduler.h decides
+/// on exactly this; core/planner.h builds it from the intermediate-result
+/// state plus the cache-residency probes).
+struct StepShape {
+  std::uint64_t shorter = 0;       ///< current intermediate (or short list)
+  std::uint64_t longer = 0;        ///< next posting list length
+  std::uint64_t longer_bytes = 0;  ///< its compressed payload bytes
+  /// Long list already resident in the GPU's list cache (no H2D transfer).
+  bool longer_device_resident = false;
+  /// Long list already decoded in the host cache (no CPU decode work).
+  bool longer_host_decoded = false;
+  std::optional<Placement> current_location;  ///< where the intermediate lives
+};
+
+/// One executed plan step, as appended to QueryResult::trace. The four stage
+/// fields are the *deltas* the step added to the QueryMetrics stage totals,
+/// so summing any stage over a trace reproduces that QueryMetrics field
+/// exactly — every charge in the system happens inside some step.
+struct StepRecord {
+  StepKind kind = StepKind::kDecode;
+  /// Decode/intersect: the processor that ran the step. Transfer: the
+  /// destination. Rank: kCpu.
+  Placement placement = Placement::kCpu;
+  index::TermId term = 0;  ///< posting list consumed (decode/intersect)
+  /// Intersect steps: the scheduler's input, residency bits included
+  /// (Scheduler::decide(shape) replays to `placement`).
+  StepShape shape;
+  std::uint64_t output_count = 0;  ///< intermediate size after the step
+  std::uint64_t gpu_kernels = 0;   ///< kernel launches charged by the step
+  /// kTransfer only: a mid-query placement flip (QueryMetrics::migrations),
+  /// as opposed to the final device->host drain before ranking.
+  bool migration = false;
+  sim::Duration duration;          ///< decode + intersect + transfer + rank
+  sim::Duration decode;
+  sim::Duration intersect;
+  sim::Duration transfer;
+  sim::Duration rank;
+};
+
+/// Order-free aggregate of step records: the cluster/service layers fold
+/// every executed query's trace into one of these (per shard node, per
+/// broker run, per service run) the same way CacheCounters flow.
+struct TraceSummary {
+  std::uint64_t steps = 0;
+  std::uint64_t decode_steps = 0;
+  std::uint64_t intersect_steps = 0;
+  std::uint64_t transfer_steps = 0;
+  std::uint64_t rank_steps = 0;
+  std::uint64_t cpu_intersects = 0;  ///< intersect steps placed on the CPU
+  std::uint64_t gpu_intersects = 0;  ///< intersect steps placed on the GPU
+  std::uint64_t migrations = 0;      ///< transfer steps that were migrations
+  sim::Duration step_time;           ///< summed StepRecord::duration
+
+  void add(const StepRecord& r) {
+    ++steps;
+    switch (r.kind) {
+      case StepKind::kDecode: ++decode_steps; break;
+      case StepKind::kIntersect:
+        ++intersect_steps;
+        ++(r.placement == Placement::kGpu ? gpu_intersects : cpu_intersects);
+        break;
+      case StepKind::kTransfer:
+        ++transfer_steps;
+        if (r.migration) ++migrations;
+        break;
+      case StepKind::kRank: ++rank_steps; break;
+    }
+    step_time += r.duration;
+  }
+  void add(std::span<const StepRecord> trace) {
+    for (const auto& r : trace) add(r);
+  }
+  TraceSummary& operator+=(const TraceSummary& o) {
+    steps += o.steps;
+    decode_steps += o.decode_steps;
+    intersect_steps += o.intersect_steps;
+    transfer_steps += o.transfer_steps;
+    rank_steps += o.rank_steps;
+    cpu_intersects += o.cpu_intersects;
+    gpu_intersects += o.gpu_intersects;
+    migrations += o.migrations;
+    step_time += o.step_time;
+    return *this;
+  }
+
+  double gpu_intersect_fraction() const {
+    const std::uint64_t n = cpu_intersects + gpu_intersects;
+    return n == 0 ? 0.0
+                  : static_cast<double>(gpu_intersects) /
+                        static_cast<double>(n);
+  }
+};
 
 /// Hit/miss/eviction counts for the two engine-side caching tiers: the
 /// device-resident compressed-list cache (gpu/list_cache.h) and the host
@@ -80,6 +180,9 @@ struct QueryMetrics {
 struct QueryResult {
   std::vector<ScoredDoc> topk;
   QueryMetrics metrics;
+  /// One record per executed plan step (core/executor.h appends them); the
+  /// introspection/replay surface for scheduling experiments.
+  std::vector<StepRecord> trace;
 };
 
 /// Common interface: execute one query over a fixed index.

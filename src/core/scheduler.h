@@ -51,17 +51,8 @@ struct SchedulerOptions {
   double host_decoded_ratio_scale = 0.5;
 };
 
-/// One intersection step as the scheduler sees it.
-struct StepShape {
-  std::uint64_t shorter = 0;       ///< current intermediate (or short list)
-  std::uint64_t longer = 0;        ///< next posting list length
-  std::uint64_t longer_bytes = 0;  ///< its compressed payload bytes
-  /// Long list already resident in the GPU's list cache (no H2D transfer).
-  bool longer_device_resident = false;
-  /// Long list already decoded in the host cache (no CPU decode work).
-  bool longer_host_decoded = false;
-  std::optional<Placement> current_location;  ///< where the intermediate lives
-};
+// StepShape (the scheduler's per-step input) lives in core/query.h so trace
+// records can embed it without a dependency cycle.
 
 class Scheduler {
  public:

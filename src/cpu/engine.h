@@ -3,6 +3,10 @@
 // first, per Culpepper & Moffat [11]), with a per-pair choice between the
 // sequential merge and the skip-pointer binary search based on the length
 // ratio, then BM25 + partial_sort ranking.
+//
+// execute() (core/engine_drivers.cpp) is the shared planner/executor driver
+// under the degenerate kAlwaysCpu policy — this engine has no step loop of
+// its own (DESIGN.md §8).
 #pragma once
 
 #include "core/query.h"

@@ -191,39 +191,7 @@ std::vector<DocId> GpuExecutor::download_intermediate(core::QueryMetrics& m) {
   return out;
 }
 
-core::QueryResult GpuEngine::execute(const core::Query& q) {
-  core::QueryResult res;
-  core::QueryMetrics& m = res.metrics;
-  if (q.terms.empty()) return res;
-
-  std::vector<index::TermId> terms(q.terms);
-  std::sort(terms.begin(), terms.end(),
-            [&](index::TermId a, index::TermId b) {
-              return idx_->list(a).size() < idx_->list(b).size();
-            });
-
-  exec_.begin_query();
-  if (terms.size() == 1) {
-    exec_.load_single(terms[0], m);
-  } else {
-    exec_.intersect_first(terms[0], terms[1], m);
-    for (std::size_t i = 2; i < terms.size(); ++i) {
-      if (exec_.intermediate_count() == 0) break;
-      exec_.intersect_next(terms[i], m);
-    }
-  }
-
-  std::vector<DocId> docs = exec_.download_intermediate(m);
-  exec_.begin_query();  // release device buffers
-  m.result_count = docs.size();
-
-  // Original term order for scoring (not length order): keeps float
-  // accumulation bit-identical across engines and index shards.
-  sim::CpuCostAccumulator rank(hw_.cpu);
-  scorer_.score(q.terms, docs, res.topk, rank);
-  cpu::top_k(res.topk, q.k, rank);
-  m.add_stage(rank.time(), &m.rank);
-  return res;
-}
+// GpuEngine::execute lives in core/engine_drivers.cpp: it is the shared
+// planner/executor driver under the kAlwaysGpu policy.
 
 }  // namespace griffin::gpu

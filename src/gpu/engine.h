@@ -113,6 +113,8 @@ class GpuExecutor {
 };
 
 /// The GPU-only engine the paper evaluates as "GPU only" in Figures 14/15.
+/// execute() (core/engine_drivers.cpp) is the shared planner/executor
+/// driver under the degenerate kAlwaysGpu policy (DESIGN.md §8).
 class GpuEngine : public core::Engine {
  public:
   GpuEngine(const index::InvertedIndex& idx, sim::HardwareSpec hw = {},

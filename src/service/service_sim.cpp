@@ -6,12 +6,13 @@ namespace griffin::service {
 
 std::vector<sim::Duration> measure_service_times(
     core::Engine& engine, const std::vector<core::Query>& queries,
-    core::CacheCounters* cache) {
+    core::CacheCounters* cache, core::TraceSummary* trace) {
   std::vector<sim::Duration> times;
   times.reserve(queries.size());
   for (const auto& q : queries) {
     const auto res = engine.execute(q);
     if (cache != nullptr) *cache += res.metrics.cache;
+    if (trace != nullptr) trace->add(res.trace);
     times.push_back(res.metrics.total);
   }
   return times;
@@ -41,9 +42,11 @@ ServiceResult run_service(core::Engine& engine,
                           const std::vector<core::Query>& queries,
                           const ServiceConfig& cfg) {
   core::CacheCounters cache;
-  const auto times = measure_service_times(engine, queries, &cache);
+  core::TraceSummary trace;
+  const auto times = measure_service_times(engine, queries, &cache, &trace);
   ServiceResult res = run_service(std::span<const sim::Duration>(times), cfg);
   res.engine_cache = cache;
+  res.trace = trace;
   return res;
 }
 

@@ -37,6 +37,8 @@ struct ServiceResult {
   /// Engine cache-tier counters summed over the run (only filled by the
   /// engine-executing overload of run_service; zero otherwise).
   core::CacheCounters engine_cache;
+  /// Plan-step aggregate (QueryResult::trace) over the run (same caveat).
+  core::TraceSummary trace;
 
   double mean_response_ms() const { return response_ms.mean(); }
 };
@@ -52,10 +54,10 @@ ServiceResult run_service(core::Engine& engine,
                           const ServiceConfig& cfg);
 
 /// One execution pass: the service-time vector for a query set. When
-/// `cache` is non-null, the engines' per-query cache-tier counters are
-/// summed into it.
+/// `cache` / `trace` are non-null, the engines' per-query cache-tier
+/// counters and plan-step traces are summed into them.
 std::vector<sim::Duration> measure_service_times(
     core::Engine& engine, const std::vector<core::Query>& queries,
-    core::CacheCounters* cache = nullptr);
+    core::CacheCounters* cache = nullptr, core::TraceSummary* trace = nullptr);
 
 }  // namespace griffin::service

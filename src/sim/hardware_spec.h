@@ -68,6 +68,12 @@ struct HardwareSpec {
   GpuSpec gpu;
   PcieSpec pcie;
 
+  /// Cost of discovering a query term is absent from a shard's dictionary
+  /// (one hash probe + the short-circuit reply; cluster/shard_node.h's
+  /// fast path). A cluster-serving cost assumption, so it lives with the
+  /// rest of the machine model rather than as a constant in the shard code.
+  double absent_term_probe_us = 2.0;
+
   /// The paper's testbed (§4.1). Also the default-constructed value.
   static HardwareSpec paper_testbed() { return HardwareSpec{}; }
 };

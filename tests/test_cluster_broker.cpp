@@ -97,7 +97,9 @@ TEST(ClusterBroker, AbsentTermShardsShortCircuit) {
 
   const auto part = broker.node(0).execute(q);
   EXPECT_TRUE(part.topk.empty());
-  EXPECT_EQ(part.metrics.total, cluster::ShardNode::absent_term_cost());
+  EXPECT_EQ(part.metrics.total, broker.node(0).absent_term_cost());
+  EXPECT_EQ(part.metrics.total,
+            sim::Duration::from_us(sim::HardwareSpec{}.absent_term_probe_us));
 
   core::HybridEngine single(idx);
   const auto got = broker.execute(q);

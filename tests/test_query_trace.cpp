@@ -1,0 +1,184 @@
+// The trace invariants the plan/execute decomposition (DESIGN.md §8)
+// guarantees:
+//   1. Per-step stage durations sum exactly to the QueryMetrics stage
+//      totals — every charge in the system happens inside some recorded
+//      step (the records are stage-delta snapshots around dispatch).
+//   2. An intersect record's placement replays from Scheduler::decide on
+//      its recorded StepShape: the trace carries the scheduler's full
+//      input, so decisions are auditable after the fact.
+//   3. Cold caches don't perturb the plan: a fresh engine with both cache
+//      tiers enabled produces the identical trace (all fields) to one with
+//      them disabled.
+//   4. Warm steady state is deterministic: once the caches are warm,
+//      repeated executions of the same query produce identical traces.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hybrid_engine.h"
+#include "core/scheduler.h"
+#include "engine_test_util.h"
+
+using namespace griffin;
+
+namespace {
+
+std::vector<core::Query> trace_log(const index::InvertedIndex& idx) {
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 20;
+  qcfg.seed = 314;
+  auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+  core::Query single;
+  single.terms = {5};
+  log.push_back(single);
+  core::Query extreme;
+  extreme.terms = {static_cast<index::TermId>(idx.num_terms() - 1), 0};
+  log.push_back(extreme);
+  return log;
+}
+
+void expect_stage_sums(const core::QueryResult& res, const std::string& label) {
+  const auto& m = res.metrics;
+  ASSERT_FALSE(res.trace.empty()) << label;
+  EXPECT_EQ(res.trace.back().kind, core::StepKind::kRank) << label;
+  sim::Duration total, decode, intersect, transfer, rank;
+  std::uint64_t kernels = 0;
+  for (const auto& r : res.trace) {
+    // Each record's duration is exactly its stage charges.
+    EXPECT_EQ(r.duration, r.decode + r.intersect + r.transfer + r.rank)
+        << label;
+    total += r.duration;
+    decode += r.decode;
+    intersect += r.intersect;
+    transfer += r.transfer;
+    rank += r.rank;
+    kernels += r.gpu_kernels;
+  }
+  EXPECT_EQ(total, m.total) << label;
+  EXPECT_EQ(decode, m.decode) << label;
+  EXPECT_EQ(intersect, m.intersect) << label;
+  EXPECT_EQ(transfer, m.transfer) << label;
+  EXPECT_EQ(rank, m.rank) << label;
+  EXPECT_EQ(kernels, m.gpu_kernels) << label;
+  EXPECT_EQ(res.trace.back().output_count, m.result_count) << label;
+
+  core::TraceSummary sum;
+  sum.add(res.trace);
+  EXPECT_EQ(sum.steps, res.trace.size()) << label;
+  EXPECT_EQ(sum.migrations, m.migrations) << label;
+  EXPECT_EQ(sum.step_time, m.total) << label;
+}
+
+void expect_identical_traces(const std::vector<core::StepRecord>& a,
+                             const std::vector<core::StepRecord>& b,
+                             const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    const std::string at = label + " step " + std::to_string(i);
+    EXPECT_EQ(x.kind, y.kind) << at;
+    EXPECT_EQ(x.placement, y.placement) << at;
+    EXPECT_EQ(x.term, y.term) << at;
+    EXPECT_EQ(x.shape.shorter, y.shape.shorter) << at;
+    EXPECT_EQ(x.shape.longer, y.shape.longer) << at;
+    EXPECT_EQ(x.shape.longer_device_resident, y.shape.longer_device_resident)
+        << at;
+    EXPECT_EQ(x.shape.longer_host_decoded, y.shape.longer_host_decoded) << at;
+    EXPECT_EQ(x.output_count, y.output_count) << at;
+    EXPECT_EQ(x.gpu_kernels, y.gpu_kernels) << at;
+    EXPECT_EQ(x.migration, y.migration) << at;
+    EXPECT_EQ(x.duration, y.duration) << at;
+    EXPECT_EQ(x.decode, y.decode) << at;
+    EXPECT_EQ(x.intersect, y.intersect) << at;
+    EXPECT_EQ(x.transfer, y.transfer) << at;
+    EXPECT_EQ(x.rank, y.rank) << at;
+  }
+}
+
+core::HybridOptions caches_off_options() {
+  core::HybridOptions opt;
+  opt.gpu.list_cache = false;
+  opt.cpu.decoded_cache_bytes = 0;
+  return opt;
+}
+
+}  // namespace
+
+TEST(QueryTrace, StepDurationsSumToStageTotals) {
+  const auto& idx = testutil::small_index();
+  const auto log = trace_log(idx);
+
+  cpu::CpuEngine cpu_engine(idx);
+  gpu::GpuEngine gpu_engine(idx);
+  core::HybridEngine griffin(idx);
+  core::HybridOptions cost_opt;
+  cost_opt.scheduler.policy = core::SchedulerPolicy::kCostModel;
+  core::HybridEngine griffin_cost(idx, {}, cost_opt);
+
+  const std::vector<std::pair<const char*, core::Engine*>> engines = {
+      {"cpu", &cpu_engine},
+      {"gpu", &gpu_engine},
+      {"griffin", &griffin},
+      {"griffin-cost", &griffin_cost},
+  };
+  for (const auto& [name, engine] : engines) {
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      const auto res = engine->execute(log[i]);
+      expect_stage_sums(res, std::string(name) + " q" + std::to_string(i));
+    }
+  }
+}
+
+TEST(QueryTrace, IntersectPlacementsReplayFromRecordedShapes) {
+  const auto& idx = testutil::small_index();
+  const auto log = trace_log(idx);
+
+  for (const auto policy : {core::SchedulerPolicy::kRatioThreshold,
+                            core::SchedulerPolicy::kCostModel}) {
+    core::HybridOptions opt;
+    opt.scheduler.policy = policy;
+    core::HybridEngine engine(idx, {}, opt);
+    // The same scheduler configuration the engine runs: the recorded shape
+    // is the decision's entire input, so decide() must replay it.
+    const core::Scheduler replay(opt.scheduler);
+    for (const auto& q : log) {
+      const auto res = engine.execute(q);
+      for (const auto& rec : res.trace) {
+        if (rec.kind != core::StepKind::kIntersect) continue;
+        EXPECT_EQ(replay.decide(rec.shape), rec.placement)
+            << "policy " << static_cast<int>(policy);
+      }
+    }
+  }
+}
+
+TEST(QueryTrace, ColdCachesDoNotPerturbTheTrace) {
+  const auto& idx = testutil::small_index();
+  const auto log = trace_log(idx);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    // Fresh engines per query: both cache tiers are cold, so the recorded
+    // plan must be identical whether the tiers exist or not.
+    core::HybridEngine with_caches(idx);
+    core::HybridEngine without_caches(idx, {}, caches_off_options());
+    const auto a = with_caches.execute(log[i]);
+    const auto b = without_caches.execute(log[i]);
+    expect_identical_traces(a.trace, b.trace, "q" + std::to_string(i));
+    EXPECT_EQ(a.metrics.total, b.metrics.total);
+  }
+}
+
+TEST(QueryTrace, WarmCacheTracesAreDeterministic) {
+  const auto& idx = testutil::small_index();
+  const auto log = trace_log(idx);
+  core::HybridEngine engine(idx);
+  for (const auto& q : log) engine.execute(q);  // warm both tiers
+
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto first = engine.execute(log[i]);
+    const auto second = engine.execute(log[i]);
+    expect_identical_traces(first.trace, second.trace,
+                            "warm q" + std::to_string(i));
+  }
+}
