@@ -261,6 +261,7 @@ inline const char* step_kind_name(core::StepKind k) {
     case core::StepKind::kIntersect: return "intersect";
     case core::StepKind::kTransfer: return "transfer";
     case core::StepKind::kRank: return "rank";
+    case core::StepKind::kPrefetch: return "prefetch";
   }
   return "?";
 }
@@ -275,7 +276,8 @@ inline Json step_json(const core::StepRecord& r) {
   j["kind"] = step_kind_name(r.kind);
   j["placement"] = placement_name(r.placement);
   if (r.kind == core::StepKind::kDecode ||
-      r.kind == core::StepKind::kIntersect) {
+      r.kind == core::StepKind::kIntersect ||
+      r.kind == core::StepKind::kPrefetch) {
     j["term"] = static_cast<std::uint64_t>(r.term);
   }
   if (r.kind == core::StepKind::kIntersect) {
@@ -283,6 +285,7 @@ inline Json step_json(const core::StepRecord& r) {
     j["longer"] = r.shape.longer;
     j["longer_device_resident"] = r.shape.longer_device_resident;
     j["longer_host_decoded"] = r.shape.longer_host_decoded;
+    j["longer_prefetched"] = r.shape.longer_prefetched;
   }
   if (r.kind == core::StepKind::kTransfer) j["migration"] = r.migration;
   j["output_count"] = r.output_count;
@@ -292,6 +295,11 @@ inline Json step_json(const core::StepRecord& r) {
   if (r.intersect.ps() > 0) j["intersect_us"] = r.intersect.us();
   if (r.transfer.ps() > 0) j["transfer_us"] = r.transfer.us();
   if (r.rank.ps() > 0) j["rank_us"] = r.rank.us();
+  // Timeline placement (DESIGN.md §10): where and when the step's ops ran.
+  j["resource"] = sim::resource_name(r.resource);
+  j["issue_us"] = r.issue.us();
+  j["start_us"] = r.start.us();
+  j["end_us"] = r.end.us();
   return j;
 }
 
@@ -347,6 +355,18 @@ class TraceWriter {
   std::FILE* f_ = nullptr;
   std::uint64_t records_ = 0;
 };
+
+/// Copy/compute-overlap counters (DESIGN.md §10) as a JSON object.
+inline Json overlap_json(const core::OverlapCounters& o) {
+  Json j = Json::object();
+  j["saved_us"] = o.saved.us();
+  j["prefetch_issued"] = o.prefetch_issued;
+  j["prefetch_used"] = o.prefetch_used;
+  j["prefetch_dropped"] = o.prefetch_dropped;
+  j["h2d_busy_us"] = o.h2d_busy.us();
+  j["d2h_busy_us"] = o.d2h_busy.us();
+  return j;
+}
 
 /// Latency distribution as a JSON object (ms units throughout the benches).
 inline Json latency_json(const util::PercentileTracker& t) {

@@ -48,6 +48,7 @@ int main() {
 
   bench::Json group_rows = bench::Json::array();
   core::CacheCounters grif_cache;
+  core::OverlapCounters grif_overlap;
   util::SummaryStats all_cpu, all_gpu, all_grif, all_cost;
   std::uint64_t query_id = 0;
   for (const auto& [g, queries] : groups) {
@@ -60,6 +61,7 @@ int main() {
       const auto grif_res = griffin.execute(q);
       grif_ms += grif_res.metrics.total.ms();
       grif_cache += grif_res.metrics.cache;
+      grif_overlap += grif_res.metrics.overlap;
       const auto cost_res = griffin_cost.execute(q);
       cost_ms += cost_res.metrics.total.ms();
       trace_out.write("cpu", query_id, q, cpu_res);
@@ -147,6 +149,7 @@ int main() {
   cachej["device_hits"] = grif_cache.device_hits;
   cachej["host_hits"] = grif_cache.host_hits;
   root["griffin_cache"] = std::move(cachej);
+  root["griffin_overlap"] = bench::overlap_json(grif_overlap);
   bench::write_bench_json("end_to_end", root);
   return 0;
 }

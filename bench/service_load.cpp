@@ -32,10 +32,13 @@ int main() {
   // One execution pass per engine; the load sweep reuses the times.
   std::fprintf(stderr, "[service_load] measuring service times...\n");
   const auto cpu_times = service::measure_service_times(cpu_engine, log);
-  const auto grif_times = service::measure_service_times(griffin, log);
+  core::OverlapCounters grif_overlap;
+  const auto grif_times = service::measure_service_times(
+      griffin, log, nullptr, nullptr, &grif_overlap);
 
   std::printf("%-10s %-9s %12s %12s %12s %12s\n", "load(qps)", "engine",
               "util", "p50 resp", "p95 resp", "p99 resp");
+  bench::Json rows = bench::Json::array();
   for (const double qps : {50.0, 100.0, 200.0, 400.0}) {
     service::ServiceConfig scfg;
     scfg.arrival_qps = qps;
@@ -50,9 +53,26 @@ int main() {
                 "griffin", 100.0 * rg.utilization,
                 rg.response_ms.percentile(50), rg.response_ms.percentile(95),
                 rg.response_ms.percentile(99));
+    bench::Json row = bench::Json::object();
+    row["qps"] = qps;
+    row["cpu_utilization"] = rc.utilization;
+    row["griffin_utilization"] = rg.utilization;
+    row["cpu_response"] = bench::latency_json(rc.response_ms);
+    row["griffin_response"] = bench::latency_json(rg.response_ms);
+    row["cpu_max_queue_depth"] = rc.max_queue_depth;
+    row["griffin_max_queue_depth"] = rg.max_queue_depth;
+    rows.push_back(std::move(row));
   }
   std::printf("\n(response = queueing + service, simulated ms; at loads where "
               "the CPU-only\nnode saturates, Griffin still serves with "
               "bounded queues)\n");
+
+  bench::Json root = bench::Json::object();
+  root["bench"] = "service_load";
+  root["fast_mode"] = bench::fast_mode();
+  root["queries"] = static_cast<std::uint64_t>(log.size());
+  root["loads"] = std::move(rows);
+  root["griffin_overlap"] = bench::overlap_json(grif_overlap);
+  bench::write_bench_json("service_load", root);
   return 0;
 }

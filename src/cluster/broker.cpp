@@ -49,6 +49,7 @@ core::QueryResult ClusterBroker::execute(const core::Query& q) {
     out.metrics.gpu_kernels += part.metrics.gpu_kernels;
     out.metrics.migrations += part.metrics.migrations;
     out.metrics.cache += part.metrics.cache;
+    out.metrics.overlap += part.metrics.overlap;
     // The merged result's trace is the concatenation of the shard plans in
     // shard order: every step the cluster executed for this query.
     out.trace.insert(out.trace.end(), part.trace.begin(), part.trace.end());
@@ -103,6 +104,7 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
       parts[s] = std::move(part.topk);
       res.engine_cache += part.metrics.cache;
       res.trace.add(part.trace);
+      res.engine_overlap += part.metrics.overlap;
       sim::Duration svc = part.metrics.total;
       sim::Duration svc_primary = svc;
       if (cfg_.straggler.probability > 0.0 &&

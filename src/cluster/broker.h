@@ -77,6 +77,9 @@ struct ClusterResult {
   /// Plan-step aggregate (QueryResult::trace) over every shard execution in
   /// the run: how the cluster's work split across processors and stages.
   core::TraceSummary trace;
+  /// Copy/compute-overlap counters (DESIGN.md §10) summed over every shard
+  /// execution in the run.
+  core::OverlapCounters engine_overlap;
   /// Resident bytes in the broker's result cache at the end of the run.
   std::uint64_t result_cache_bytes = 0;
   std::vector<double> shard_utilization;  ///< primary replica, per shard

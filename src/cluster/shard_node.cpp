@@ -19,6 +19,7 @@ core::QueryResult ShardNode::execute(const core::Query& q) {
   core::QueryResult res = engine_.execute(local);
   cache_ += res.metrics.cache;
   trace_.add(res.trace);
+  overlap_ += res.metrics.overlap;
   return res;
 }
 

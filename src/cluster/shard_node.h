@@ -46,12 +46,17 @@ class ShardNode {
   /// view as the cache counters).
   const core::TraceSummary& trace_summary() const { return trace_; }
 
+  /// Copy/compute-overlap counters (prefetches, saved time, copy-engine
+  /// busy time) summed over every execute() on this node.
+  const core::OverlapCounters& overlap_counters() const { return overlap_; }
+
  private:
   index::IndexShard shard_;
   core::HybridEngine engine_;
   sim::Duration absent_cost_;
   core::CacheCounters cache_;
   core::TraceSummary trace_;
+  core::OverlapCounters overlap_;
   std::vector<index::TermId> scratch_terms_;
 };
 

@@ -7,11 +7,21 @@ namespace griffin::core {
 void StepExecutor::begin_query() {
   host_current_.clear();
   loc_.reset();
-  if (gpu_ != nullptr) gpu_->begin_query();
+  tl_.reset();
+  cpu_stream_ = tl_.stream();
+  frontier_ = sim::Timeline::Event{};
+  if (gpu_ != nullptr) gpu_->begin_query(&tl_);
 }
 
-void StepExecutor::finish_query() {
-  if (gpu_ != nullptr) gpu_->begin_query();  // release device buffers
+void StepExecutor::finish_query(QueryMetrics& m) {
+  if (gpu_ != nullptr) gpu_->finish_query(m);  // drops prefetches, buffers
+  // The serial charges and the timeline ops are the same set of durations:
+  // any divergence means a charge bypassed the timeline.
+  assert(tl_.serial_total() == m.total);
+  m.overlap.saved = tl_.serial_total() - tl_.critical_path();
+  m.total = tl_.critical_path();
+  m.overlap.h2d_busy = tl_.busy(sim::Resource::kCopyH2D);
+  m.overlap.d2h_busy = tl_.busy(sim::Resource::kCopyD2H);
 }
 
 std::uint64_t StepExecutor::intermediate_count() const {
@@ -66,6 +76,11 @@ void StepExecutor::dispatch(const PlanStep& step, const Query& q,
     if (t->migration) ++m.migrations;
     return;
   }
+  if (const auto* p = std::get_if<PrefetchStep>(&step)) {
+    assert(gpu_ != nullptr);
+    gpu_->prefetch(p->term, m);  // intermediate and location unchanged
+    return;
+  }
   // RankStep: BM25 + partial_sort on the host. Scoring uses the query's
   // original term order, not the SvS length order: float accumulation order
   // is then a property of the query alone, so a document-partitioned shard
@@ -88,6 +103,20 @@ void StepExecutor::run(const PlanStep& step, const Query& q,
   const sim::Duration transfer0 = m.transfer;
   const sim::Duration rank0 = m.rank;
   const std::uint64_t kernels0 = m.gpu_kernels;
+  const std::size_t ops0 = tl_.num_ops();
+
+  // GPU-dispatched steps record their own timeline ops (ledgers + kernels)
+  // chained off the plan frontier; everything else becomes one CPU op.
+  bool gpu_step = false;
+  if (const auto* d = std::get_if<DecodeStep>(&step)) {
+    gpu_step = d->where == Placement::kGpu;
+  } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
+    gpu_step = i->where == Placement::kGpu;
+  } else if (std::holds_alternative<TransferStep>(step) ||
+             std::holds_alternative<PrefetchStep>(step)) {
+    gpu_step = true;
+  }
+  if (gpu_step) gpu_->set_chain(frontier_);
 
   dispatch(step, q, res);
 
@@ -95,20 +124,33 @@ void StepExecutor::run(const PlanStep& step, const Query& q,
     rec.kind = StepKind::kDecode;
     rec.placement = d->where;
     rec.term = d->term;
+    rec.resource = d->where == Placement::kGpu ? sim::Resource::kGpuCompute
+                                               : sim::Resource::kCpu;
   } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
     rec.kind = StepKind::kIntersect;
     rec.placement = i->where;
     rec.term = i->term;
     rec.shape = i->shape;
+    rec.resource = i->where == Placement::kGpu ? sim::Resource::kGpuCompute
+                                               : sim::Resource::kCpu;
   } else if (const auto* t = std::get_if<TransferStep>(&step)) {
     rec.kind = StepKind::kTransfer;
     rec.placement = t->direction == TransferDirection::kHostToDevice
                         ? Placement::kGpu
                         : Placement::kCpu;
     rec.migration = t->migration;
+    rec.resource = t->direction == TransferDirection::kHostToDevice
+                       ? sim::Resource::kCopyH2D
+                       : sim::Resource::kCopyD2H;
+  } else if (const auto* p = std::get_if<PrefetchStep>(&step)) {
+    rec.kind = StepKind::kPrefetch;
+    rec.placement = Placement::kGpu;
+    rec.term = p->term;
+    rec.resource = sim::Resource::kCopyH2D;
   } else {
     rec.kind = StepKind::kRank;
     rec.placement = Placement::kCpu;
+    rec.resource = sim::Resource::kCpu;
   }
   rec.output_count = intermediate_count();
   rec.gpu_kernels = m.gpu_kernels - kernels0;
@@ -117,6 +159,34 @@ void StepExecutor::run(const PlanStep& step, const Query& q,
   rec.intersect = m.intersect - intersect0;
   rec.transfer = m.transfer - transfer0;
   rec.rank = m.rank - rank0;
+
+  if (gpu_step) {
+    // Prefetches leave the chain untouched, so the frontier is unchanged
+    // for them — later steps don't wait on a prefetch unless they use it.
+    frontier_ = gpu_->chain();
+  } else {
+    frontier_ = tl_.record(cpu_stream_, sim::Resource::kCpu, rec.duration,
+                           frontier_);
+  }
+
+  // Timeline placement of the whole step: first issue to last completion
+  // over the ops it recorded (a zero-op step pins all three to the
+  // frontier).
+  if (tl_.num_ops() > ops0) {
+    const auto& ops = tl_.ops();
+    rec.issue = ops[ops0].issue;
+    rec.start = ops[ops0].start;
+    rec.end = ops[ops0].end;
+    for (std::size_t i = ops0 + 1; i < ops.size(); ++i) {
+      rec.issue = sim::min(rec.issue, ops[i].issue);
+      rec.start = sim::min(rec.start, ops[i].start);
+      rec.end = sim::max(rec.end, ops[i].end);
+    }
+  } else {
+    rec.issue = rec.start = rec.end = frontier_.at;
+  }
+  // Every serial charge must have been mirrored as a timeline op.
+  assert(tl_.serial_total() == m.total);
   res.trace.push_back(rec);
 }
 
@@ -129,7 +199,7 @@ QueryResult run_plan(Planner& planner, StepExecutor& exec, const Query& q) {
                                         exec.location())) {
     exec.run(*step, q, res);
   }
-  exec.finish_query();
+  exec.finish_query(res.metrics);
   return res;
 }
 

@@ -34,16 +34,22 @@ class StepExecutor : public ResidencyProbe {
                gpu::GpuExecutor* gpu, const cpu::Bm25Scorer& scorer)
       : rank_spec_(rank_spec), svs_(svs), gpu_(gpu), scorer_(&scorer) {}
 
-  /// Resets per-query state (host intermediate, device buffers).
+  /// Resets per-query state (host intermediate, device buffers) and the
+  /// timeline (DESIGN.md §10): one CPU stream here, one copy + one compute
+  /// stream inside the GpuExecutor.
   void begin_query();
 
-  /// Executes one step: charges res.metrics through the backend and appends
-  /// the StepRecord to res.trace.
+  /// Executes one step: charges res.metrics through the backend, mirrors
+  /// the charges onto the timeline, and appends the StepRecord (with its
+  /// issue/start/end placement) to res.trace.
   void run(const PlanStep& step, const Query& q, QueryResult& res);
 
-  /// Releases device buffers after the plan completes (mirrors the
-  /// engines' trailing begin_query()).
-  void finish_query();
+  /// Releases device buffers (dropping unconsumed prefetches into m), then
+  /// settles the asynchronous accounting: m.total becomes the timeline's
+  /// critical path and m.overlap.saved the exact serial difference, so
+  /// decode + intersect + transfer + rank == total + overlap.saved in
+  /// integer picoseconds.
+  void finish_query(QueryMetrics& m);
 
   /// Current intermediate-result size, wherever it lives.
   std::uint64_t intermediate_count() const;
@@ -57,6 +63,11 @@ class StepExecutor : public ResidencyProbe {
   bool host_decoded(index::TermId t) const override {
     return svs_ != nullptr && svs_->host_decoded(t);
   }
+  bool prefetched(index::TermId t) const override {
+    return gpu_ != nullptr && gpu_->prefetched(t);
+  }
+
+  const sim::Timeline& timeline() const { return tl_; }
 
  private:
   void dispatch(const PlanStep& step, const Query& q, QueryResult& res);
@@ -67,6 +78,12 @@ class StepExecutor : public ResidencyProbe {
   const cpu::Bm25Scorer* scorer_;
   std::vector<codec::DocId> host_current_;  ///< valid when loc_ == kCpu
   std::optional<Placement> loc_;
+  sim::Timeline tl_;
+  sim::Timeline::StreamId cpu_stream_ = 0;
+  /// The plan frontier: completion of the latest step every later dependent
+  /// op must wait on. GPU steps advance it through the GpuExecutor's chain;
+  /// prefetch steps deliberately leave it alone.
+  sim::Timeline::Event frontier_;
 };
 
 /// The shared driver loop: plans and executes one query start to finish.

@@ -56,7 +56,17 @@ struct TransferStep {
 /// paper Figure 7).
 struct RankStep {};
 
-using PlanStep =
-    std::variant<DecodeStep, IntersectStep, TransferStep, RankStep>;
+/// Start the H2D upload of a later intersect's longer list on the copy
+/// engine, without waiting for it: on the asynchronous timeline
+/// (DESIGN.md §10) the transfer overlaps the preceding step's kernels. The
+/// planner stages one whenever it places an intersect on the GPU and the
+/// following term's list is neither device-resident nor oversized; the
+/// executor drops unconsumed prefetches when the plan migrates to the CPU.
+struct PrefetchStep {
+  index::TermId term = 0;
+};
+
+using PlanStep = std::variant<DecodeStep, IntersectStep, TransferStep,
+                              RankStep, PrefetchStep>;
 
 }  // namespace griffin::core

@@ -14,8 +14,25 @@ StepShape Planner::shape_for(std::uint64_t shorter, index::TermId longer_term,
   // so the first queries decide exactly as the paper's rule does.
   s.longer_device_resident = probe_->device_resident(longer_term);
   s.longer_host_decoded = probe_->host_decoded(longer_term);
+  s.longer_prefetched = probe_->prefetched(longer_term);
   s.current_location = location;
   return s;
+}
+
+void Planner::maybe_stage_prefetch(const IntersectStep& step) {
+  const SchedulerOptions& o = sched_->options();
+  if (!o.prefetch || step.where != Placement::kGpu) return;
+  if (next_term_ >= terms_.size()) return;  // no later list to move
+  const index::TermId nxt = terms_[next_term_];
+  if (probe_->device_resident(nxt) || probe_->prefetched(nxt)) return;
+  if (step.shape.shorter == 0) return;
+  // Gate on the ratio as known *now* (the intermediate only shrinks, so
+  // this is the optimistic bound): past the limit, the binary-search path's
+  // deferred transfer beats even a hidden full-payload upload.
+  const double ratio = static_cast<double>(idx_->list(nxt).size()) /
+                       static_cast<double>(step.shape.shorter);
+  if (ratio >= o.prefetch_ratio_limit) return;
+  staged_prefetch_ = nxt;
 }
 
 void Planner::begin(const Query& q) {
@@ -26,10 +43,20 @@ void Planner::begin(const Query& q) {
             });
   next_term_ = 0;
   stage_ = terms_.empty() ? Stage::kDone : Stage::kStart;
+  staged_prefetch_.reset();
 }
 
 std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
                                       std::optional<Placement> location) {
+  // A prefetch staged alongside the previous intersect goes out first,
+  // whatever the plan does next: the host issued the async copy when it
+  // issued that intersect, and an async copy cannot be recalled.
+  if (staged_prefetch_.has_value()) {
+    const index::TermId t = *staged_prefetch_;
+    staged_prefetch_.reset();
+    return PrefetchStep{t};
+  }
+
   if (stage_ == Stage::kStart) {
     if (terms_.size() == 1) {
       // Ranking is host-side (paper Figure 7), so a single-term query
@@ -53,6 +80,7 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
     step.where = sched_->decide(step.shape);
     next_term_ = 2;
     stage_ = Stage::kIntersect;
+    maybe_stage_prefetch(step);
     return step;
   }
 
@@ -70,6 +98,7 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
       step.shape = shape_for(intermediate_count, terms_[next_term_], location);
       step.where = sched_->decide(step.shape);
       ++next_term_;
+      maybe_stage_prefetch(step);
       if (location.has_value() && step.where != *location) {
         // Migrate first; the already-decided intersect stays pending (the
         // decision is never re-evaluated at the new location).

@@ -43,6 +43,9 @@ class ResidencyProbe {
   virtual ~ResidencyProbe() = default;
   virtual bool device_resident(index::TermId t) const = 0;
   virtual bool host_decoded(index::TermId t) const = 0;
+  /// Term has an in-flight (or landed) kPrefetch upload this query
+  /// (DESIGN.md §10); fills StepShape::longer_prefetched.
+  virtual bool prefetched(index::TermId /*t*/) const { return false; }
 };
 
 class Planner {
@@ -80,6 +83,14 @@ class Planner {
     kDone,
   };
 
+  /// Called right after an intersect step is decided: if it runs on the GPU
+  /// and the *following* term's list is worth moving early, stage a
+  /// PrefetchStep to emit on the next call. The decision uses only state
+  /// known when the intersect is issued — a real host would enqueue the
+  /// async copy then, before the kernels' outcome exists — so a staged
+  /// prefetch is emitted even if the intersect empties the intermediate.
+  void maybe_stage_prefetch(const IntersectStep& step);
+
   const index::InvertedIndex* idx_;
   const Scheduler* sched_;
   const ResidencyProbe* probe_;
@@ -87,6 +98,7 @@ class Planner {
   std::size_t next_term_ = 0;
   Stage stage_ = Stage::kDone;
   IntersectStep pending_;  ///< valid in kPendingIntersect
+  std::optional<index::TermId> staged_prefetch_;
 };
 
 }  // namespace griffin::core

@@ -11,6 +11,7 @@
 
 #include "index/inverted_index.h"
 #include "sim/time.h"
+#include "sim/timeline.h"
 
 namespace griffin::core {
 
@@ -32,7 +33,16 @@ enum class Placement : std::uint8_t { kCpu, kGpu };
 /// The step taxonomy of the physical-plan layer (core/plan.h holds the typed
 /// step structs; the kind tag lives here so trace records stay
 /// dependency-light).
-enum class StepKind : std::uint8_t { kDecode, kIntersect, kTransfer, kRank };
+enum class StepKind : std::uint8_t {
+  kDecode,
+  kIntersect,
+  kTransfer,
+  kRank,
+  /// Asynchronous H2D of a later step's posting list on the copy engine,
+  /// overlapping the current step's kernels (DESIGN.md §10). Never changes
+  /// results; dropped (its entry discarded) when the plan migrates to CPU.
+  kPrefetch,
+};
 
 /// One intersection step as the scheduler sees it (core/scheduler.h decides
 /// on exactly this; core/planner.h builds it from the intermediate-result
@@ -45,6 +55,10 @@ struct StepShape {
   bool longer_device_resident = false;
   /// Long list already decoded in the host cache (no CPU decode work).
   bool longer_host_decoded = false;
+  /// Long list already in flight to (or landed on) the device via a
+  /// kPrefetch step: the H2D is paid and hidden, so the GPU side owes no
+  /// transfer for it (scheduler crossover shifts accordingly).
+  bool longer_prefetched = false;
   std::optional<Placement> current_location;  ///< where the intermediate lives
 };
 
@@ -71,6 +85,17 @@ struct StepRecord {
   sim::Duration intersect;
   sim::Duration transfer;
   sim::Duration rank;
+  /// Timeline placement (DESIGN.md §10): when the step's first op could
+  /// issue (stream + event dependencies met), when its resource actually
+  /// started it, and when its last op finished. duration still sums the
+  /// serial charges, so end - start < duration exactly when the step's own
+  /// ops overlapped each other (double-buffered decode).
+  sim::Duration issue;
+  sim::Duration start;
+  sim::Duration end;
+  /// The step's primary resource: compute unit for decode/intersect, the
+  /// copy engine for transfer/prefetch, the host for rank.
+  sim::Resource resource = sim::Resource::kCpu;
 };
 
 /// Order-free aggregate of step records: the cluster/service layers fold
@@ -82,10 +107,13 @@ struct TraceSummary {
   std::uint64_t intersect_steps = 0;
   std::uint64_t transfer_steps = 0;
   std::uint64_t rank_steps = 0;
+  std::uint64_t prefetch_steps = 0;
   std::uint64_t cpu_intersects = 0;  ///< intersect steps placed on the CPU
   std::uint64_t gpu_intersects = 0;  ///< intersect steps placed on the GPU
   std::uint64_t migrations = 0;      ///< transfer steps that were migrations
-  sim::Duration step_time;           ///< summed StepRecord::duration
+  /// Summed StepRecord::duration — the *serial* stage time, i.e. per query
+  /// QueryMetrics::total (critical path) + overlap.saved.
+  sim::Duration step_time;
 
   void add(const StepRecord& r) {
     ++steps;
@@ -100,6 +128,7 @@ struct TraceSummary {
         if (r.migration) ++migrations;
         break;
       case StepKind::kRank: ++rank_steps; break;
+      case StepKind::kPrefetch: ++prefetch_steps; break;
     }
     step_time += r.duration;
   }
@@ -112,6 +141,7 @@ struct TraceSummary {
     intersect_steps += o.intersect_steps;
     transfer_steps += o.transfer_steps;
     rank_steps += o.rank_steps;
+    prefetch_steps += o.prefetch_steps;
     cpu_intersects += o.cpu_intersects;
     gpu_intersects += o.gpu_intersects;
     migrations += o.migrations;
@@ -158,7 +188,35 @@ struct CacheCounters {
   double host_hit_rate() const { return rate(host_hits, host_misses); }
 };
 
-/// Per-query latency breakdown in simulated time.
+/// Asynchronous-execution counters (DESIGN.md §10). `saved` is the exact
+/// picosecond difference between the serial stage sum and the critical
+/// path, so QueryMetrics::total + overlap.saved reproduces the stage sums
+/// bit-exactly; the busy durations measure copy-engine occupancy for
+/// utilization reporting.
+struct OverlapCounters {
+  std::uint64_t prefetch_issued = 0;   ///< kPrefetch uploads started
+  std::uint64_t prefetch_used = 0;     ///< consumed by a later GPU step
+  std::uint64_t prefetch_dropped = 0;  ///< discarded (migration / query end)
+  sim::Duration saved;                 ///< serial stage sum - critical path
+  sim::Duration h2d_busy;              ///< H2D copy-engine busy time
+  sim::Duration d2h_busy;              ///< D2H copy-engine busy time
+
+  OverlapCounters& operator+=(const OverlapCounters& o) {
+    prefetch_issued += o.prefetch_issued;
+    prefetch_used += o.prefetch_used;
+    prefetch_dropped += o.prefetch_dropped;
+    saved += o.saved;
+    h2d_busy += o.h2d_busy;
+    d2h_busy += o.d2h_busy;
+    return *this;
+  }
+};
+
+/// Per-query latency breakdown in simulated time. Since the asynchronous
+/// timeline (DESIGN.md §10), `total` is the *critical path* — what a wall
+/// clock would measure with copies overlapping kernels — while the four
+/// stage durations keep their serial meaning, so the stage identity is
+///   decode + intersect + transfer + rank == total + overlap.saved.
 struct QueryMetrics {
   sim::Duration total;
   sim::Duration decode;
@@ -169,6 +227,7 @@ struct QueryMetrics {
   std::uint64_t migrations = 0;   ///< GPU<->CPU hand-offs mid-query
   std::uint64_t result_count = 0; ///< docs matching all terms
   CacheCounters cache;            ///< per-query cache-tier counters
+  OverlapCounters overlap;        ///< copy/compute-overlap accounting
   std::vector<Placement> placements;  ///< one per intersection step
 
   void add_stage(sim::Duration d, sim::Duration* stage) {

@@ -21,7 +21,13 @@ Placement Scheduler::decide(const StepShape& s) const {
       // CPU's decode cost (lowers λ). Cold caches leave λ at the paper's.
       double threshold = opt_.ratio_threshold;
       if (opt_.residency_aware) {
-        if (s.longer_device_resident) threshold *= opt_.resident_ratio_boost;
+        if (s.longer_device_resident) {
+          threshold *= opt_.resident_ratio_boost;
+        } else if (s.longer_prefetched) {
+          // The H2D is already paid (and hidden on the copy engine), so the
+          // GPU side looks like the resident case.
+          threshold *= opt_.prefetch_ratio_boost;
+        }
         if (s.longer_host_decoded) threshold *= opt_.host_decoded_ratio_scale;
       }
       return ratio < threshold ? Placement::kGpu : Placement::kCpu;
@@ -81,17 +87,24 @@ sim::Duration Scheduler::estimate_gpu(const StepShape& s) const {
     t += sim::Duration::from_us(4.0 * hw_.pcie.alloc_us);
   }
   // A device-resident long list (gpu/list_cache.h) skips the PCIe transfer
-  // terms entirely — §2.3's overhead is exactly what the cache removes.
-  const bool resident = opt_.residency_aware && s.longer_device_resident;
+  // terms entirely — §2.3's overhead is exactly what the cache removes. A
+  // prefetched one (DESIGN.md §10) already paid them on the copy engine.
+  const bool resident = opt_.residency_aware &&
+                        (s.longer_device_resident || s.longer_prefetched);
   if (ratio < 128.0) {
-    // Transfer the compressed long list, decode everything, merge.
+    // Transfer the compressed long list, decode everything, merge. With
+    // double buffering the H2D streams under the decode, so the two terms
+    // cost their max, not their sum.
+    sim::Duration xfer;
     if (!resident) {
-      t += sim::Duration::from_us(hw_.pcie.latency_us) +
-           sim::Duration::from_ns(static_cast<double>(s.longer_bytes) /
-                                  hw_.pcie.bandwidth_gbps);
+      xfer = sim::Duration::from_us(hw_.pcie.latency_us) +
+             sim::Duration::from_ns(static_cast<double>(s.longer_bytes) /
+                                    hw_.pcie.bandwidth_gbps);
     }
     const double touched_bytes = (ns + nl) * 12.0;  // decode + merge traffic
-    t += sim::Duration::from_ns(touched_bytes / g.mem_bandwidth_gbps);
+    const sim::Duration mem =
+        sim::Duration::from_ns(touched_bytes / g.mem_bandwidth_gbps);
+    t += opt_.overlap_aware ? sim::max(xfer, mem) : xfer + mem;
   } else {
     // Only candidate blocks move and decode.
     const double blocks = std::min(ns, nl / 128.0);

@@ -49,6 +49,24 @@ struct SchedulerOptions {
   double resident_ratio_boost = 4.0;
   /// kRatioThreshold multiplier when the long list is host-decoded.
   double host_decoded_ratio_scale = 0.5;
+  /// Emit kPrefetch steps: while a GPU intersect runs, start the H2D of the
+  /// next term's list on the copy engine (DESIGN.md §10). Read by the
+  /// Planner; kAlwaysCpu plans never place GPU steps so never prefetch.
+  bool prefetch = true;
+  /// Don't prefetch a list longer than this ratio times the current
+  /// intermediate: above it the binary-search path's deferred transfer
+  /// (skip table + candidate blocks only) moves less data than the full
+  /// payload a prefetch would, hidden or not. Default 2x the path
+  /// crossover.
+  double prefetch_ratio_limit = 256.0;
+  /// kRatioThreshold multiplier when the long list is already prefetched:
+  /// like device residency, the GPU owes no (visible) transfer for it, so
+  /// the crossover rises.
+  double prefetch_ratio_boost = 4.0;
+  /// kCostModel: credit copy/compute overlap in the GPU estimate — the
+  /// MergePath path double-buffers the payload H2D against Para-EF decode,
+  /// so transfer and memory time combine as max(), not sum.
+  bool overlap_aware = true;
 };
 
 // StepShape (the scheduler's per-step input) lives in core/query.h so trace

@@ -32,38 +32,116 @@ GpuExecutor::GpuExecutor(const index::InvertedIndex& idx, sim::HardwareSpec hw,
          "Griffin-GPU decodes with Para-EF; build the index with EF");
 }
 
-void GpuExecutor::begin_query() {
+void GpuExecutor::begin_query(sim::Timeline* tl) {
   current_ = simt::DeviceBuffer<DocId>();
   current_count_ = kNoIntermediate;
+  prefetch_.clear();
+  tl_ = tl;
+  chain_ = sim::Timeline::Event{};
+  if (tl_ != nullptr) {
+    copy_stream_ = tl_->stream();
+    compute_stream_ = tl_->stream();
+  }
+}
+
+void GpuExecutor::finish_query(core::QueryMetrics& m) {
+  drop_prefetches(m);
+  current_ = simt::DeviceBuffer<DocId>();
+  current_count_ = kNoIntermediate;
+  tl_ = nullptr;
+  chain_ = sim::Timeline::Event{};
 }
 
 void GpuExecutor::charge_kernel(const sim::KernelStats& s, sim::Duration* stage,
                                 core::QueryMetrics& m, std::uint32_t kernels) {
-  m.add_stage(cost_.kernel_time(s), stage);
+  const sim::Duration d = cost_.kernel_time(s);
+  m.add_stage(d, stage);
   m.gpu_kernels += kernels;
+  if (tl_ != nullptr) {
+    chain_ = tl_->record(compute_stream_, sim::Resource::kGpuCompute, d,
+                         chain_);
+  }
 }
 
 void GpuExecutor::charge_ledger(const pcie::TransferLedger& ledger,
                                 core::QueryMetrics& m) {
   m.add_stage(ledger.total, &m.transfer);
+  if (tl_ != nullptr) chain_ = sim::Timeline::join(chain_, ledger.last_event());
+}
+
+void GpuExecutor::bind_ledger(pcie::TransferLedger& ledger, bool chained) {
+  if (tl_ == nullptr) return;
+  ledger.bind(tl_, copy_stream_,
+              chained ? chain_ : sim::Timeline::Event{});
+}
+
+void GpuExecutor::prefetch(index::TermId t, core::QueryMetrics& m) {
+  // Planned against slightly stale state: re-check residency and in-flight
+  // status at issue time, and quietly skip when the copy is pointless.
+  if (prefetched(t) || cache_.resident(t)) return;
+  pcie::TransferLedger ledger;
+  bind_ledger(ledger, /*chained=*/false);  // copy-stream order only
+  Prefetched p;
+  p.list = upload_list(device_, idx_->list(t).docids, link_, ledger);
+  p.ready = ledger.last_event();
+  p.cache_on_commit =
+      cache_.enabled() && cache_.fits(DeviceListCache::entry_bytes(p.list));
+  if (cache_.enabled()) ++m.cache.device_misses;
+  // Serial charge as usual, but the chain is NOT advanced: on the timeline
+  // the upload rides the copy engine under whatever kernels follow, and
+  // only a consumer of this term waits on p.ready.
+  m.add_stage(ledger.total, &m.transfer);
+  ++m.overlap.prefetch_issued;
+  prefetch_.emplace(t, std::move(p));
+}
+
+void GpuExecutor::drop_prefetches(core::QueryMetrics& m) {
+  for (auto& [term, p] : prefetch_) {
+    ++m.overlap.prefetch_dropped;
+    // The full payload landed and was paid for; keeping it costs nothing.
+    if (p.cache_on_commit) {
+      std::uint64_t evicted = 0;
+      cache_.insert(term, std::move(p.list), &evicted);
+      m.cache.device_evictions += evicted;
+    }
+  }
+  prefetch_.clear();
+}
+
+std::optional<GpuExecutor::AcquiredList> GpuExecutor::take_prefetched(
+    index::TermId t, core::QueryMetrics& m) {
+  auto it = prefetch_.find(t);
+  if (it == prefetch_.end()) return std::nullopt;
+  AcquiredList a;
+  a.term = t;
+  a.owned.emplace(std::move(it->second.list));
+  a.cache_on_commit = it->second.cache_on_commit;
+  if (tl_ != nullptr) chain_ = sim::Timeline::join(chain_, it->second.ready);
+  prefetch_.erase(it);
+  ++m.overlap.prefetch_used;
+  return a;
 }
 
 GpuExecutor::AcquiredList GpuExecutor::acquire_full(index::TermId t,
-                                                    core::QueryMetrics& m) {
+                                                    core::QueryMetrics& m,
+                                                    bool chunked) {
+  if (auto pf = take_prefetched(t, m)) return std::move(*pf);
   AcquiredList a;
   a.term = t;
   if (cache_.enabled()) {
     if (const DeviceList* hit = cache_.lookup(t)) {
       ++m.cache.device_hits;  // transfer + allocation charges skipped
-      a.list = hit;
+      a.cached = hit;
       return a;
     }
     ++m.cache.device_misses;
   }
   pcie::TransferLedger ledger;
-  a.owned.emplace(upload_list(device_, idx_->list(t).docids, link_, ledger));
+  bind_ledger(ledger);
+  a.owned.emplace(upload_list(device_, idx_->list(t).docids, link_, ledger,
+                              /*defer_payload=*/chunked));
   charge_ledger(ledger, m);
-  a.list = &*a.owned;
+  a.payload_deferred = chunked;
   a.cache_on_commit =
       cache_.enabled() && cache_.fits(DeviceListCache::entry_bytes(*a.owned));
   return a;
@@ -79,15 +157,55 @@ void GpuExecutor::commit(AcquiredList&& a, core::QueryMetrics& m) {
 simt::DeviceBuffer<DocId> GpuExecutor::decode_full_list(index::TermId t,
                                                         core::QueryMetrics& m) {
   const auto& list = idx_->list(t).docids;
-  AcquiredList a = acquire_full(t, m);
+  const bool pipelined =
+      tl_ != nullptr && opt_.double_buffer && opt_.copy_chunk_bytes > 0;
+  AcquiredList a = acquire_full(t, m, /*chunked=*/pipelined);
   pcie::TransferLedger ledger;
+  bind_ledger(ledger);
   auto out = device_.alloc<DocId>(list.size());
   ledger.add_alloc(link_);
   charge_ledger(ledger, m);
 
-  const sim::KernelStats s =
-      ef_decode_range(device_, *a.list, 0, a.list->num_blocks(), out);
-  charge_kernel(s, &m.decode, m);
+  const DeviceList& dl = a.view();
+  if (!a.payload_deferred) {
+    // Hit / prefetched / serial mode: the payload is on the device already,
+    // one kernel decodes it all.
+    const sim::KernelStats s =
+        ef_decode_range(device_, dl, 0, dl.num_blocks(), out);
+    charge_kernel(s, &m.decode, m);
+  } else {
+    // Double buffering (DESIGN.md §10): group blocks into >= chunk-size
+    // payload chunks; each chunk's H2D is an op on the copy stream chained
+    // off the step's entry frontier (copies serialize with each other, not
+    // with this step's kernels), and its decode kernel waits on exactly its
+    // own chunk's copy — so the copy of chunk i+1 runs under the decode of
+    // chunk i. Per-chunk launches honestly inflate the serial cost; the
+    // pipeline pays off on the critical path.
+    const sim::Timeline::Event entry = chain_;
+    const std::size_t nb = dl.num_blocks();
+    std::size_t lo = 0;
+    bool first = true;
+    while (lo < nb) {
+      std::uint64_t bytes = 0;
+      std::size_t hi = lo;
+      while (hi < nb && (hi == lo || bytes < opt_.copy_chunk_bytes)) {
+        bytes += dl.block_payload_bytes(hi);
+        ++hi;
+      }
+      pcie::TransferLedger chunk;
+      if (tl_ != nullptr) chunk.bind(tl_, copy_stream_, entry);
+      chunk.add_transfer_chunk(link_, bytes, /*h2d=*/true, first);
+      first = false;
+      m.add_stage(chunk.total, &m.transfer);
+      if (tl_ != nullptr) {
+        chain_ = sim::Timeline::join(chain_, chunk.last_event());
+      }
+      const sim::KernelStats s = ef_decode_range(
+          device_, dl, lo, hi, out, dl.host_descs[lo].out_offset);
+      charge_kernel(s, &m.decode, m);
+      lo = hi;
+    }
+  }
   commit(std::move(a), m);
   return out;
 }
@@ -103,11 +221,18 @@ void GpuExecutor::intersect_first(index::TermId a, index::TermId b,
   auto da = decode_full_list(a, m);
 
   pcie::TransferLedger ledger;
+  bind_ledger(ledger);
   GpuIntersectResult r;
+  std::optional<AcquiredList> pf;
   if (ratio < opt_.path_ratio) {
     auto db = decode_full_list(b, m);
     r = mergepath_intersect(device_, da, la.size(), db, lb.size(), link_,
                             ledger);
+  } else if ((pf = take_prefetched(b, m))) {
+    // The prefetch already paid the full payload upload on the copy
+    // engine; search it like a resident list (and cache it afterwards).
+    r = binary_search_intersect(device_, da, la.size(), pf->view(), link_,
+                                ledger, /*deferred_payload=*/false);
   } else if (const DeviceList* resident =
                  cache_.enabled() ? cache_.lookup(b) : nullptr) {
     // The long list is already fully device-resident: no transfers at all,
@@ -127,6 +252,7 @@ void GpuExecutor::intersect_first(index::TermId a, index::TermId b,
   }
   charge_ledger(ledger, m);
   charge_kernel(r.stats, &m.intersect, m, r.kernels);
+  if (pf.has_value()) commit(std::move(*pf), m);
   current_ = std::move(r.result);
   current_count_ = r.count;
   m.placements.push_back(core::Placement::kGpu);
@@ -142,11 +268,16 @@ void GpuExecutor::intersect_next(index::TermId t, core::QueryMetrics& m) {
                 static_cast<double>(current_count_);
 
   pcie::TransferLedger ledger;
+  bind_ledger(ledger);
   GpuIntersectResult r;
+  std::optional<AcquiredList> pf;
   if (ratio < opt_.path_ratio) {
     auto dt = decode_full_list(t, m);
     r = mergepath_intersect(device_, current_, current_count_, dt, lt.size(),
                             link_, ledger);
+  } else if ((pf = take_prefetched(t, m))) {
+    r = binary_search_intersect(device_, current_, current_count_, pf->view(),
+                                link_, ledger, /*deferred_payload=*/false);
   } else if (const DeviceList* resident =
                  cache_.enabled() ? cache_.lookup(t) : nullptr) {
     ++m.cache.device_hits;
@@ -160,6 +291,7 @@ void GpuExecutor::intersect_next(index::TermId t, core::QueryMetrics& m) {
   }
   charge_ledger(ledger, m);
   charge_kernel(r.stats, &m.intersect, m, r.kernels);
+  if (pf.has_value()) commit(std::move(*pf), m);
   current_ = std::move(r.result);
   current_count_ = r.count;
   m.placements.push_back(core::Placement::kGpu);
@@ -173,6 +305,7 @@ void GpuExecutor::load_single(index::TermId t, core::QueryMetrics& m) {
 void GpuExecutor::upload_intermediate(std::span<const DocId> docs,
                                       core::QueryMetrics& m) {
   pcie::TransferLedger ledger;
+  bind_ledger(ledger);
   current_ = device_.alloc<DocId>(std::max<std::size_t>(docs.size(), 1));
   ledger.add_alloc(link_);
   device_.upload(current_, docs);
@@ -183,8 +316,12 @@ void GpuExecutor::upload_intermediate(std::span<const DocId> docs,
 
 std::vector<DocId> GpuExecutor::download_intermediate(core::QueryMetrics& m) {
   assert(has_intermediate());
+  // Leaving the device: any in-flight prefetch has lost its consumer
+  // (migration or final drain), so it is dropped here.
+  drop_prefetches(m);
   std::vector<DocId> out(current_count_);
   pcie::TransferLedger ledger;
+  bind_ledger(ledger);
   device_.download(std::span<DocId>(out), current_);
   ledger.add_transfer(link_, out.size() * sizeof(DocId), /*h2d=*/false);
   charge_ledger(ledger, m);

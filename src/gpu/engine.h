@@ -7,6 +7,7 @@
 // processors mid-query.
 #pragma once
 
+#include <map>
 #include <optional>
 
 #include "core/query.h"
@@ -39,6 +40,16 @@ struct GpuOptions {
   /// intermediates); the cache budget is device_mem_bytes minus this. A
   /// headroom >= device memory disables the cache.
   std::size_t list_cache_headroom_bytes = std::size_t{1} << 30;
+  /// Double-buffer full-list uploads (DESIGN.md §10): split the payload H2D
+  /// into block-granular chunks so the copy of chunk i+1 overlaps the
+  /// Para-EF decode of chunk i on the timeline. Each chunk's decode is its
+  /// own kernel launch, so chunking honestly raises the *serial* cost; the
+  /// win is the critical path. Only effective when a timeline is bound.
+  bool double_buffer = true;
+  /// Minimum payload bytes per chunk (blocks are grouped until they reach
+  /// it). Too small drowns in kernel-launch overhead — bench/overlap sweeps
+  /// the tradeoff. 0 disables chunking.
+  std::size_t copy_chunk_bytes = std::size_t{256} << 10;
 };
 
 /// Step-level GPU execution over one index. Holds the device, the cost
@@ -48,8 +59,38 @@ class GpuExecutor {
   GpuExecutor(const index::InvertedIndex& idx, sim::HardwareSpec hw = {},
               GpuOptions opt = {});
 
-  /// Drops per-query device state.
-  void begin_query();
+  /// Drops per-query device state. With a timeline (core/executor.h passes
+  /// its own), the executor opens one copy stream and one compute stream on
+  /// it and records every charge as a timeline op (DESIGN.md §10); without
+  /// one, charging is purely serial as before.
+  void begin_query(sim::Timeline* tl = nullptr);
+
+  /// Drops unconsumed prefetches (counting them into m) and releases
+  /// per-query device state.
+  void finish_query(core::QueryMetrics& m);
+
+  /// The event every dependent op of this query waits on (the executor
+  /// threads it across steps as the plan frontier). Meaningless without a
+  /// bound timeline.
+  sim::Timeline::Event chain() const { return chain_; }
+  void set_chain(sim::Timeline::Event e) { chain_ = e; }
+
+  /// Starts the asynchronous H2D of term t's full list on the copy engine
+  /// (kPrefetch step): charges the transfer serially but chains it only on
+  /// the copy stream, so on the timeline it rides under the surrounding
+  /// kernels. A later intersect/decode consuming t waits on its completion
+  /// event. No-op if t is already resident or in flight.
+  void prefetch(index::TermId t, core::QueryMetrics& m);
+
+  /// Discards in-flight prefetches (CPU migration / end of query); fully
+  /// landed lists still enter the device cache — the transfer was paid.
+  void drop_prefetches(core::QueryMetrics& m);
+
+  /// Term has an in-flight prefetched list this query (stat-free; feeds
+  /// core::StepShape::longer_prefetched).
+  bool prefetched(index::TermId t) const {
+    return prefetch_.find(t) != prefetch_.end();
+  }
 
   /// Intersects the first two lists entirely on the GPU.
   void intersect_first(index::TermId a, index::TermId b, core::QueryMetrics& m);
@@ -86,20 +127,44 @@ class GpuExecutor {
   /// is handed to the cache by commit() *after* the step's kernels ran, so
   /// an insert can never evict a list another pointer still references.
   struct AcquiredList {
-    const DeviceList* list = nullptr;
+    /// Cache hit only (points into the cache). The owned case reads through
+    /// view() instead of a raw pointer: a pointer into our own `owned` would
+    /// dangle whenever the AcquiredList itself is moved (e.g. out of
+    /// take_prefetched's optional).
+    const DeviceList* cached = nullptr;
     std::optional<DeviceList> owned;
     index::TermId term = 0;
     bool cache_on_commit = false;
+    /// Fresh miss upload whose payload transfer was *not* charged yet
+    /// (chunked acquire): the caller pays it per chunk, interleaved with
+    /// the per-chunk decode kernels (double buffering).
+    bool payload_deferred = false;
+
+    const DeviceList& view() const { return owned.has_value() ? *owned : *cached; }
   };
-  AcquiredList acquire_full(index::TermId t, core::QueryMetrics& m);
+  /// With chunked=true, a miss uploads the skip table only and leaves the
+  /// payload charge to the caller (payload_deferred).
+  AcquiredList acquire_full(index::TermId t, core::QueryMetrics& m,
+                            bool chunked = false);
   void commit(AcquiredList&& a, core::QueryMetrics& m);
+  /// Takes term t's prefetched list if one is in flight: the consumer
+  /// inherits the full upload (and its completion event, joined into the
+  /// chain) without new transfer charges.
+  std::optional<AcquiredList> take_prefetched(index::TermId t,
+                                              core::QueryMetrics& m);
 
   /// Uploads + Para-EF-decodes a full list; returns the decoded buffer.
+  /// With a timeline + double buffering, a miss pipelines chunked H2D
+  /// against per-chunk decode kernels.
   simt::DeviceBuffer<DocId> decode_full_list(index::TermId t,
                                              core::QueryMetrics& m);
   void charge_kernel(const sim::KernelStats& s, sim::Duration* stage,
                      core::QueryMetrics& m, std::uint32_t kernels = 1);
   void charge_ledger(const pcie::TransferLedger& ledger, core::QueryMetrics& m);
+  /// Binds a ledger to the timeline's copy stream, chained on the current
+  /// plan frontier (chain_) — or on nothing, for prefetches, which order
+  /// only behind earlier copies.
+  void bind_ledger(pcie::TransferLedger& ledger, bool chained = true);
 
   const index::InvertedIndex* idx_;
   sim::HardwareSpec hw_;
@@ -110,6 +175,20 @@ class GpuExecutor {
   pcie::Link link_;
   simt::DeviceBuffer<DocId> current_;
   std::uint64_t current_count_ = kNoIntermediate;
+
+  /// A kPrefetch upload awaiting its consumer. Ordered map: drop order (and
+  /// therefore cache-insert order) must be deterministic.
+  struct Prefetched {
+    DeviceList list;
+    sim::Timeline::Event ready;
+    bool cache_on_commit = false;
+  };
+  std::map<index::TermId, Prefetched> prefetch_;
+
+  sim::Timeline* tl_ = nullptr;  ///< bound per query by begin_query
+  sim::Timeline::StreamId copy_stream_ = 0;
+  sim::Timeline::StreamId compute_stream_ = 0;
+  sim::Timeline::Event chain_;  ///< current plan-frontier event
 };
 
 /// The GPU-only engine the paper evaluates as "GPU only" in Figures 14/15.

@@ -9,6 +9,7 @@
 
 #include "sim/hardware_spec.h"
 #include "sim/time.h"
+#include "sim/timeline.h"
 
 namespace griffin::pcie {
 
@@ -25,6 +26,16 @@ class Link {
                                   spec_.bandwidth_gbps);
   }
 
+  /// Time for one chunk of a larger DMA split for double buffering: the
+  /// setup latency is paid once, on the first chunk; later chunks stream at
+  /// line rate.
+  sim::Duration chunk_time(std::uint64_t bytes, bool first_chunk) const {
+    sim::Duration t = sim::Duration::from_ns(static_cast<double>(bytes) /
+                                             spec_.bandwidth_gbps);
+    if (first_chunk) t += sim::Duration::from_us(spec_.latency_us);
+    return t;
+  }
+
   /// Time for one device allocation call.
   sim::Duration alloc_time() const {
     return sim::Duration::from_us(spec_.alloc_us);
@@ -36,6 +47,15 @@ class Link {
 
 /// Running totals of modeled transfer activity, kept per engine/query so the
 /// latency breakdown can attribute time to data movement.
+///
+/// When bound to a sim::Timeline (DESIGN.md §10), each charge additionally
+/// reserves the matching copy engine: transfers become ops on the bound
+/// stream (H2D and D2H on their respective engines, allocations on the
+/// host, since cudaMalloc is host-synchronous), chained so the ledger's ops
+/// execute in order after the `dep` event it was bound with. `last_event()`
+/// is the completion of the most recent op — the event kernels consuming
+/// the transferred data wait on. Unbound, the ledger behaves exactly as
+/// before: a scalar sum.
 struct TransferLedger {
   std::uint64_t h2d_bytes = 0;
   std::uint64_t d2h_bytes = 0;
@@ -43,16 +63,48 @@ struct TransferLedger {
   std::uint64_t allocs = 0;
   sim::Duration total;
 
+  void bind(sim::Timeline* tl, sim::Timeline::StreamId stream,
+            sim::Timeline::Event dep) {
+    tl_ = tl;
+    stream_ = stream;
+    last_ = dep;
+  }
+  sim::Timeline::Event last_event() const { return last_; }
+
   void add_transfer(const Link& link, std::uint64_t bytes, bool h2d) {
     (h2d ? h2d_bytes : d2h_bytes) += bytes;
     ++transfers;
-    total += link.transfer_time(bytes);
+    const sim::Duration t = link.transfer_time(bytes);
+    total += t;
+    record(h2d ? sim::Resource::kCopyH2D : sim::Resource::kCopyD2H, t);
+  }
+  /// One chunk of a split DMA (Link::chunk_time): the chunk sequence costs
+  /// the setup latency once, so its serial sum stays within per-chunk
+  /// rounding of the equivalent single transfer.
+  void add_transfer_chunk(const Link& link, std::uint64_t bytes, bool h2d,
+                          bool first_chunk) {
+    (h2d ? h2d_bytes : d2h_bytes) += bytes;
+    ++transfers;
+    const sim::Duration t = link.chunk_time(bytes, first_chunk);
+    total += t;
+    record(h2d ? sim::Resource::kCopyH2D : sim::Resource::kCopyD2H, t);
   }
   void add_alloc(const Link& link) {
     ++allocs;
     total += link.alloc_time();
+    record(sim::Resource::kCpu, link.alloc_time());
   }
   void reset() { *this = TransferLedger{}; }
+
+ private:
+  void record(sim::Resource r, sim::Duration d) {
+    if (tl_ == nullptr) return;
+    last_ = tl_->record(stream_, r, d, last_);
+  }
+
+  sim::Timeline* tl_ = nullptr;
+  sim::Timeline::StreamId stream_ = 0;
+  sim::Timeline::Event last_;
 };
 
 }  // namespace griffin::pcie

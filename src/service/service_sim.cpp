@@ -6,13 +6,15 @@ namespace griffin::service {
 
 std::vector<sim::Duration> measure_service_times(
     core::Engine& engine, const std::vector<core::Query>& queries,
-    core::CacheCounters* cache, core::TraceSummary* trace) {
+    core::CacheCounters* cache, core::TraceSummary* trace,
+    core::OverlapCounters* overlap) {
   std::vector<sim::Duration> times;
   times.reserve(queries.size());
   for (const auto& q : queries) {
     const auto res = engine.execute(q);
     if (cache != nullptr) *cache += res.metrics.cache;
     if (trace != nullptr) trace->add(res.trace);
+    if (overlap != nullptr) *overlap += res.metrics.overlap;
     times.push_back(res.metrics.total);
   }
   return times;
@@ -43,10 +45,13 @@ ServiceResult run_service(core::Engine& engine,
                           const ServiceConfig& cfg) {
   core::CacheCounters cache;
   core::TraceSummary trace;
-  const auto times = measure_service_times(engine, queries, &cache, &trace);
+  core::OverlapCounters overlap;
+  const auto times =
+      measure_service_times(engine, queries, &cache, &trace, &overlap);
   ServiceResult res = run_service(std::span<const sim::Duration>(times), cfg);
   res.engine_cache = cache;
   res.trace = trace;
+  res.engine_overlap = overlap;
   return res;
 }
 

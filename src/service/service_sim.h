@@ -39,6 +39,8 @@ struct ServiceResult {
   core::CacheCounters engine_cache;
   /// Plan-step aggregate (QueryResult::trace) over the run (same caveat).
   core::TraceSummary trace;
+  /// Copy/compute-overlap counters over the run (same caveat).
+  core::OverlapCounters engine_overlap;
 
   double mean_response_ms() const { return response_ms.mean(); }
 };
@@ -54,10 +56,12 @@ ServiceResult run_service(core::Engine& engine,
                           const ServiceConfig& cfg);
 
 /// One execution pass: the service-time vector for a query set. When
-/// `cache` / `trace` are non-null, the engines' per-query cache-tier
-/// counters and plan-step traces are summed into them.
+/// `cache` / `trace` / `overlap` are non-null, the engines' per-query
+/// cache-tier counters, plan-step traces, and overlap counters are summed
+/// into them.
 std::vector<sim::Duration> measure_service_times(
     core::Engine& engine, const std::vector<core::Query>& queries,
-    core::CacheCounters* cache = nullptr, core::TraceSummary* trace = nullptr);
+    core::CacheCounters* cache = nullptr, core::TraceSummary* trace = nullptr,
+    core::OverlapCounters* overlap = nullptr);
 
 }  // namespace griffin::service

@@ -1,0 +1,131 @@
+// Discrete-event timeline for asynchronous execution (DESIGN.md §10). The
+// engines keep charging every operation's duration serially — that is the
+// honest amount of work — but each charge additionally records an op here,
+// placed on a stream and a hardware resource. The timeline then answers
+// "when would this query finish on hardware with dual copy engines and
+// asynchronous kernel launches?":
+//
+//   * ops on the same stream serialize in issue order (CUDA stream rule);
+//   * ops on the same resource serialize in issue order (one DMA at a time
+//     per copy engine, one kernel at a time on our modeled device);
+//   * an op may additionally wait on an Event recorded by another stream's
+//     op (cudaStreamWaitEvent), which is how cross-stream data dependencies
+//     — "this kernel reads what that copy delivered" — are expressed.
+//
+// Query latency is the critical path (the horizon: max end time over all
+// ops); the serial stage sum is preserved as serial_total(), and the
+// difference is QueryMetrics::overlap.saved. Both are integer picoseconds,
+// so serial_total == critical_path + saved holds exactly, never
+// approximately — the trace-invariant tests assert it per query.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace griffin::sim {
+
+/// The four hardware units ops contend for. The K20 testbed has dual copy
+/// engines (one per direction), one kernel pipeline we model as serial, and
+/// the host core driving the query.
+enum class Resource : std::uint8_t {
+  kCpu = 0,
+  kGpuCompute = 1,
+  kCopyH2D = 2,
+  kCopyD2H = 3,
+};
+inline constexpr std::size_t kNumResources = 4;
+
+inline const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kCpu: return "cpu";
+    case Resource::kGpuCompute: return "gpu";
+    case Resource::kCopyH2D: return "h2d";
+    case Resource::kCopyD2H: return "d2h";
+  }
+  return "?";
+}
+
+class Timeline {
+ public:
+  using StreamId = std::uint32_t;
+
+  /// A completion timestamp another op can wait on (cudaEvent analogue).
+  /// The default event is "the beginning of time": waiting on it is free.
+  struct Event {
+    Duration at;
+  };
+  static Event join(Event a, Event b) { return Event{max(a.at, b.at)}; }
+
+  /// One recorded operation. issue <= start <= end always: issue is when
+  /// the op's stream and event dependencies were satisfied, start is when
+  /// its resource freed up, end = start + duration.
+  struct Op {
+    Resource resource = Resource::kCpu;
+    Duration issue;
+    Duration start;
+    Duration end;
+  };
+
+  /// Opens a new stream (tail at time zero).
+  StreamId stream() {
+    tails_.push_back(Duration());
+    return static_cast<StreamId>(tails_.size() - 1);
+  }
+
+  /// Records an op of `dur` on stream `s` and resource `r`, optionally
+  /// waiting on `wait` (an Event from any stream). Returns the op's
+  /// completion event.
+  Event record(StreamId s, Resource r, Duration dur, Event wait = {}) {
+    assert(s < tails_.size());
+    auto& busy = busy_until_[static_cast<std::size_t>(r)];
+    Op op;
+    op.resource = r;
+    op.issue = max(tails_[s], wait.at);
+    op.start = max(op.issue, busy);
+    op.end = op.start + dur;
+    tails_[s] = op.end;
+    busy = op.end;
+    busy_[static_cast<std::size_t>(r)] += dur;
+    serial_ += dur;
+    horizon_ = max(horizon_, op.end);
+    ops_.push_back(op);
+    return Event{op.end};
+  }
+
+  /// When the last op finishes: the query's latency under overlap.
+  Duration critical_path() const { return horizon_; }
+  /// Sum of all op durations: the latency had nothing overlapped. Equals
+  /// the engines' serial stage charges by construction.
+  Duration serial_total() const { return serial_; }
+  /// Total busy time of one resource (copy-engine utilization etc.).
+  Duration busy(Resource r) const {
+    return busy_[static_cast<std::size_t>(r)];
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t num_ops() const { return ops_.size(); }
+
+  /// Drops all streams and ops (start of a new query). Outstanding
+  /// StreamIds and Events become invalid.
+  void reset() {
+    tails_.clear();
+    ops_.clear();
+    for (auto& b : busy_until_) b = Duration();
+    for (auto& b : busy_) b = Duration();
+    serial_ = Duration();
+    horizon_ = Duration();
+  }
+
+ private:
+  std::vector<Duration> tails_;  ///< per-stream last-op end time
+  Duration busy_until_[kNumResources];
+  Duration busy_[kNumResources];
+  Duration serial_;
+  Duration horizon_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace griffin::sim

@@ -134,9 +134,13 @@ TEST(ClusterSim, UtilizationAndDepthAreSane) {
 }
 
 TEST(ClusterSim, MoreShardsShrinkCriticalServiceTime) {
-  // Scaling sanity: with per-shard sub-lists ~1/N the size, the per-query
-  // critical path through an idle cluster shrinks as shards are added.
-  const auto& idx = testutil::small_index();
+  // Scaling sanity: with per-shard sub-lists ~1/N the size, the service
+  // time of list-bound queries through an idle cluster shrinks as shards
+  // are added. Cheap queries are dominated by fixed per-query costs (kernel
+  // launches, ranking) that don't shard — and copy/compute overlap
+  // (DESIGN.md §10) hides most of what used to scale with list length — so
+  // the claim holds for the mean and the tail, not the median.
+  const auto& idx = testutil::large_index();
   const auto log = sim_log(idx, 60, 66);
   auto cfg = base_config();
   cfg.arrival_qps = 20.0;  // light load: no queueing, pure service scaling
@@ -149,6 +153,7 @@ TEST(ClusterSim, MoreShardsShrinkCriticalServiceTime) {
   cluster::ClusterBroker eight(idx, cfg);
   const auto r8 = eight.run(log);
 
-  EXPECT_LT(r8.shard_critical_ms.percentile(50),
-            r1.shard_critical_ms.percentile(50));
+  EXPECT_LT(r8.shard_critical_ms.mean(), r1.shard_critical_ms.mean());
+  EXPECT_LT(r8.shard_critical_ms.percentile(90),
+            r1.shard_critical_ms.percentile(90) * 0.5);
 }

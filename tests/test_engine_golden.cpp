@@ -64,13 +64,19 @@ std::string record_line(const char* engine, std::size_t qi,
   for (const auto p : m.placements) {
     out += p == core::Placement::kGpu ? 'G' : 'C';
   }
-  std::snprintf(buf, sizeof(buf), "|cache=%llu,%llu,%llu,%llu,%llu,%llu|topk=",
+  std::snprintf(buf, sizeof(buf), "|cache=%llu,%llu,%llu,%llu,%llu,%llu",
                 static_cast<unsigned long long>(m.cache.device_hits),
                 static_cast<unsigned long long>(m.cache.device_misses),
                 static_cast<unsigned long long>(m.cache.device_evictions),
                 static_cast<unsigned long long>(m.cache.host_hits),
                 static_cast<unsigned long long>(m.cache.host_misses),
                 static_cast<unsigned long long>(m.cache.host_evictions));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "|ov=%lld,%llu,%llu,%llu|topk=",
+                static_cast<long long>(m.overlap.saved.ps()),
+                static_cast<unsigned long long>(m.overlap.prefetch_issued),
+                static_cast<unsigned long long>(m.overlap.prefetch_used),
+                static_cast<unsigned long long>(m.overlap.prefetch_dropped));
   out += buf;
   for (const auto& d : r.topk) {
     std::snprintf(buf, sizeof(buf), "%u:%08x;", d.doc,

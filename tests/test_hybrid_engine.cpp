@@ -69,7 +69,12 @@ TEST(HybridEngine, StartsOnCpuForExtremeRatio) {
 
 TEST(HybridEngine, MigratesGpuToCpuWhenIntermediateShrinks) {
   const auto& idx = testutil::large_index();
-  core::HybridEngine engine(idx);
+  // Prefetch off: this pins the paper's base §3.2 rule. (With prefetch on,
+  // the staged upload of the huge list boosts the GPU threshold and the
+  // same query legitimately stays on the device — covered below.)
+  core::HybridOptions opt;
+  opt.scheduler.prefetch = false;
+  core::HybridEngine engine(idx, {}, opt);
   // Two balanced mid-size lists (GPU start) whose intersection is small,
   // then a huge list: the ratio explodes past 128 and the query must
   // migrate to the CPU (the paper's canonical scenario, §3.2).
@@ -84,6 +89,26 @@ TEST(HybridEngine, MigratesGpuToCpuWhenIntermediateShrinks) {
   // Correctness preserved across the migration.
   const auto want = testutil::reference_topk(idx, q);
   testutil::expect_same_topk(res.topk, want, "migrated");
+}
+
+TEST(HybridEngine, PrefetchKeepsBorderlineQueryOnGpu) {
+  const auto& idx = testutil::large_index();
+  core::HybridEngine engine(idx);  // prefetch on by default
+  core::Query q;
+  q.terms = {10, 11, 0};
+  const auto res = engine.execute(q);
+  // The prefetch staged alongside the first intersect paid the huge list's
+  // upload on the copy engine, so the boosted ratio rule keeps the second
+  // intersect on the GPU: no migration, and the prefetch is consumed.
+  ASSERT_EQ(res.metrics.placements.size(), 2u);
+  EXPECT_EQ(res.metrics.placements[1], core::Placement::kGpu);
+  EXPECT_EQ(res.metrics.migrations, 0u);
+  EXPECT_EQ(res.metrics.overlap.prefetch_issued, 1u);
+  EXPECT_EQ(res.metrics.overlap.prefetch_used, 1u);
+  EXPECT_EQ(res.metrics.overlap.prefetch_dropped, 0u);
+  // Same documents and scores either way.
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "prefetched");
 }
 
 TEST(HybridEngine, AlwaysCpuPolicyNeverTouchesGpu) {

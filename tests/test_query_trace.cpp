@@ -13,6 +13,8 @@
 //      repeated executions of the same query produce identical traces.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "core/hybrid_engine.h"
@@ -55,7 +57,10 @@ void expect_stage_sums(const core::QueryResult& res, const std::string& label) {
     rank += r.rank;
     kernels += r.gpu_kernels;
   }
-  EXPECT_EQ(total, m.total) << label;
+  // Step durations are serial stage charges; m.total is the timeline's
+  // critical path. The difference is exactly the overlap the async engines
+  // hid (DESIGN.md §10) — picosecond-exact, not approximate.
+  EXPECT_EQ(total, m.total + m.overlap.saved) << label;
   EXPECT_EQ(decode, m.decode) << label;
   EXPECT_EQ(intersect, m.intersect) << label;
   EXPECT_EQ(transfer, m.transfer) << label;
@@ -67,7 +72,19 @@ void expect_stage_sums(const core::QueryResult& res, const std::string& label) {
   sum.add(res.trace);
   EXPECT_EQ(sum.steps, res.trace.size()) << label;
   EXPECT_EQ(sum.migrations, m.migrations) << label;
-  EXPECT_EQ(sum.step_time, m.total) << label;
+  EXPECT_EQ(sum.step_time, m.total + m.overlap.saved) << label;
+
+  // Timeline placement sanity: every step has issue <= start <= end, and
+  // no step ends after the query's critical path.
+  for (const auto& r : res.trace) {
+    EXPECT_LE(r.issue.ps(), r.start.ps()) << label;
+    EXPECT_LE(r.start.ps(), r.end.ps()) << label;
+    EXPECT_LE(r.end.ps(), m.total.ps()) << label;
+  }
+  // Prefetch bookkeeping always balances.
+  EXPECT_EQ(m.overlap.prefetch_issued,
+            m.overlap.prefetch_used + m.overlap.prefetch_dropped)
+      << label;
 }
 
 void expect_identical_traces(const std::vector<core::StepRecord>& a,
@@ -86,6 +103,7 @@ void expect_identical_traces(const std::vector<core::StepRecord>& a,
     EXPECT_EQ(x.shape.longer_device_resident, y.shape.longer_device_resident)
         << at;
     EXPECT_EQ(x.shape.longer_host_decoded, y.shape.longer_host_decoded) << at;
+    EXPECT_EQ(x.shape.longer_prefetched, y.shape.longer_prefetched) << at;
     EXPECT_EQ(x.output_count, y.output_count) << at;
     EXPECT_EQ(x.gpu_kernels, y.gpu_kernels) << at;
     EXPECT_EQ(x.migration, y.migration) << at;
@@ -94,6 +112,10 @@ void expect_identical_traces(const std::vector<core::StepRecord>& a,
     EXPECT_EQ(x.intersect, y.intersect) << at;
     EXPECT_EQ(x.transfer, y.transfer) << at;
     EXPECT_EQ(x.rank, y.rank) << at;
+    EXPECT_EQ(x.resource, y.resource) << at;
+    EXPECT_EQ(x.issue, y.issue) << at;
+    EXPECT_EQ(x.start, y.start) << at;
+    EXPECT_EQ(x.end, y.end) << at;
   }
 }
 
@@ -166,6 +188,108 @@ TEST(QueryTrace, ColdCachesDoNotPerturbTheTrace) {
     const auto b = without_caches.execute(log[i]);
     expect_identical_traces(a.trace, b.trace, "q" + std::to_string(i));
     EXPECT_EQ(a.metrics.total, b.metrics.total);
+  }
+}
+
+TEST(QueryTrace, PrefetchNeverChangesResults) {
+  // Prefetch moves bytes earlier and changes plans, never answers: the
+  // top-k doc ids and the score *bits* are identical with it on and off.
+  const auto& idx = testutil::small_index();
+  const auto log = trace_log(idx);
+  core::HybridOptions no_prefetch;
+  no_prefetch.scheduler.prefetch = false;
+  core::HybridEngine with(idx);
+  core::HybridEngine without(idx, {}, no_prefetch);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto a = with.execute(log[i]);
+    const auto b = without.execute(log[i]);
+    ASSERT_EQ(a.topk.size(), b.topk.size()) << "q" << i;
+    for (std::size_t r = 0; r < a.topk.size(); ++r) {
+      EXPECT_EQ(a.topk[r].doc, b.topk[r].doc) << "q" << i << " rank " << r;
+      std::uint32_t xa, xb;
+      std::memcpy(&xa, &a.topk[r].score, sizeof(xa));
+      std::memcpy(&xb, &b.topk[r].score, sizeof(xb));
+      EXPECT_EQ(xa, xb) << "q" << i << " rank " << r;  // bit-identical
+    }
+    expect_stage_sums(a, "prefetch-on q" + std::to_string(i));
+    expect_stage_sums(b, "prefetch-off q" + std::to_string(i));
+    EXPECT_EQ(b.metrics.overlap.prefetch_issued, 0u) << "q" << i;
+  }
+}
+
+TEST(QueryTrace, PrefetchDroppedOnCpuMigration) {
+  // Crafted three-term query: the first pair runs on the GPU (ratio 2) and
+  // stages a prefetch for the third list (stage-time ratio 50 < 256), but
+  // the intersection collapses to 4 docs, so the third intersect's true
+  // ratio (25000) clears even the prefetch-boosted threshold (512) and the
+  // query migrates to the CPU — the in-flight prefetch loses its consumer
+  // and must be dropped, never used.
+  index::InvertedIndex idx(codec::Scheme::kEliasFano);
+  std::vector<index::DocId> a, b, c;
+  for (index::DocId i = 0; i < 2000; ++i) a.push_back(i * 100);
+  for (index::DocId i = 0; i < 4; ++i) b.push_back(i * 100);  // the matches
+  for (index::DocId i = 0; i < 3996; ++i) b.push_back(i * 100 + 1);
+  std::sort(b.begin(), b.end());
+  for (index::DocId i = 0; i < 100000; ++i) c.push_back(i * 7);
+  const index::DocId universe = 700000;
+  idx.docs().resize(universe);
+  for (index::DocId d = 0; d < universe; ++d) idx.docs().set_length(d, 1);
+  idx.add_list(a);
+  idx.add_list(b);
+  idx.add_list(c);
+
+  core::HybridEngine engine(idx);
+  core::Query q;
+  q.terms = {0, 1, 2};
+  const auto res = engine.execute(q);
+  const auto& m = res.metrics;
+  EXPECT_EQ(m.migrations, 1u);
+  ASSERT_EQ(m.placements.size(), 2u);
+  EXPECT_EQ(m.placements[0], core::Placement::kGpu);
+  EXPECT_EQ(m.placements[1], core::Placement::kCpu);
+  EXPECT_EQ(m.overlap.prefetch_issued, 1u);
+  EXPECT_EQ(m.overlap.prefetch_used, 0u);
+  EXPECT_EQ(m.overlap.prefetch_dropped, 1u);
+  // The trace carries the prefetch step and the shape bit that set the
+  // boosted threshold the migration still cleared.
+  bool saw_prefetch = false, saw_boosted_shape = false;
+  for (const auto& r : res.trace) {
+    if (r.kind == core::StepKind::kPrefetch) {
+      saw_prefetch = true;
+      EXPECT_EQ(r.term, 2u);
+      EXPECT_EQ(r.resource, sim::Resource::kCopyH2D);
+    }
+    if (r.kind == core::StepKind::kIntersect && r.shape.longer_prefetched) {
+      saw_boosted_shape = true;
+      EXPECT_EQ(r.placement, core::Placement::kCpu);
+    }
+  }
+  EXPECT_TRUE(saw_prefetch);
+  EXPECT_TRUE(saw_boosted_shape);
+  expect_stage_sums(res, "dropped-prefetch");
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "dropped-prefetch");
+}
+
+TEST(QueryTrace, NoOverlapOnCpuOnlyPaths) {
+  // Queries that never touch the GPU have nothing to overlap: the critical
+  // path *is* the serial sum, exactly.
+  const auto& idx = testutil::small_index();
+  const auto log = trace_log(idx);
+  core::HybridOptions opt;
+  opt.scheduler.policy = core::SchedulerPolicy::kAlwaysCpu;
+  core::HybridEngine always_cpu(idx, {}, opt);
+  cpu::CpuEngine cpu_engine(idx);
+  for (const auto& q : log) {
+    for (core::Engine* e :
+         {static_cast<core::Engine*>(&always_cpu),
+          static_cast<core::Engine*>(&cpu_engine)}) {
+      const auto res = e->execute(q);
+      EXPECT_EQ(res.metrics.overlap.saved.ps(), 0);
+      EXPECT_EQ(res.metrics.overlap.prefetch_issued, 0u);
+      EXPECT_EQ(res.metrics.overlap.h2d_busy.ps(), 0);
+      EXPECT_EQ(res.metrics.overlap.d2h_busy.ps(), 0);
+    }
   }
 }
 

@@ -1,0 +1,134 @@
+// sim::Timeline semantics (DESIGN.md §10): stream serialization, resource
+// serialization, cross-stream event waits, dual copy engines overlapping
+// each other and compute, and the picosecond-exact identity
+// serial_total == critical_path + saved that QueryMetrics::overlap rests on.
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace griffin;
+using sim::Duration;
+using sim::Resource;
+using sim::Timeline;
+
+namespace {
+Duration us(std::int64_t v) { return Duration::from_us(double(v)); }
+}  // namespace
+
+TEST(Timeline, SameStreamOpsSerializeInIssueOrder) {
+  Timeline tl;
+  const auto s = tl.stream();
+  const auto e1 = tl.record(s, Resource::kGpuCompute, us(10));
+  const auto e2 = tl.record(s, Resource::kGpuCompute, us(5));
+  EXPECT_EQ(e1.at.ps(), us(10).ps());
+  EXPECT_EQ(e2.at.ps(), us(15).ps());
+  // Second op issued when the stream tail (not the wait) allowed it.
+  EXPECT_EQ(tl.ops()[1].issue.ps(), us(10).ps());
+  EXPECT_EQ(tl.critical_path().ps(), us(15).ps());
+  EXPECT_EQ(tl.serial_total().ps(), us(15).ps());
+}
+
+TEST(Timeline, DifferentResourcesOverlap) {
+  Timeline tl;
+  const auto copy = tl.stream();
+  const auto compute = tl.stream();
+  tl.record(copy, Resource::kCopyH2D, us(20));
+  tl.record(compute, Resource::kGpuCompute, us(12));
+  // No dependency between them: full overlap, latency = the longer one.
+  EXPECT_EQ(tl.critical_path().ps(), us(20).ps());
+  EXPECT_EQ(tl.serial_total().ps(), us(32).ps());
+  EXPECT_EQ(tl.busy(Resource::kCopyH2D).ps(), us(20).ps());
+  EXPECT_EQ(tl.busy(Resource::kGpuCompute).ps(), us(12).ps());
+}
+
+TEST(Timeline, SameResourceSerializesAcrossStreams) {
+  Timeline tl;
+  const auto s1 = tl.stream();
+  const auto s2 = tl.stream();
+  tl.record(s1, Resource::kCopyH2D, us(20));
+  tl.record(s2, Resource::kCopyH2D, us(20));
+  // One DMA engine per direction: the second copy queues behind the first
+  // even though the streams are independent.
+  EXPECT_EQ(tl.ops()[1].issue.ps(), 0);
+  EXPECT_EQ(tl.ops()[1].start.ps(), us(20).ps());
+  EXPECT_EQ(tl.critical_path().ps(), us(40).ps());
+}
+
+TEST(Timeline, EventWaitExpressesCrossStreamDependency) {
+  Timeline tl;
+  const auto copy = tl.stream();
+  const auto compute = tl.stream();
+  const auto delivered = tl.record(copy, Resource::kCopyH2D, us(20));
+  const auto done =
+      tl.record(compute, Resource::kGpuCompute, us(10), delivered);
+  // The kernel reads what the copy delivered: it cannot start earlier.
+  EXPECT_EQ(tl.ops()[1].issue.ps(), us(20).ps());
+  EXPECT_EQ(done.at.ps(), us(30).ps());
+  EXPECT_EQ(tl.critical_path().ps(), us(30).ps());
+}
+
+TEST(Timeline, DualCopyEnginesOverlapDirections) {
+  Timeline tl;
+  const auto up = tl.stream();
+  const auto down = tl.stream();
+  const auto gpu = tl.stream();
+  tl.record(up, Resource::kCopyH2D, us(30));
+  tl.record(down, Resource::kCopyD2H, us(30));
+  tl.record(gpu, Resource::kGpuCompute, us(30));
+  // H2D, D2H, and compute are three distinct units: everything overlaps.
+  EXPECT_EQ(tl.critical_path().ps(), us(30).ps());
+  EXPECT_EQ(tl.serial_total().ps(), us(90).ps());
+}
+
+TEST(Timeline, PipelinedChunksHideCopyUnderCompute) {
+  // The double-buffering shape decode_full_list builds: chunk i's kernel
+  // waits on chunk i's copy; copies serialize on the H2D engine; kernels
+  // serialize on compute. With equal 10us chunks, steady state is one
+  // resource busy while the other works on the neighbor chunk.
+  Timeline tl;
+  const auto copy = tl.stream();
+  const auto compute = tl.stream();
+  Timeline::Event prev{};
+  for (int i = 0; i < 4; ++i) {
+    const auto delivered = tl.record(copy, Resource::kCopyH2D, us(10));
+    prev = tl.record(compute, Resource::kGpuCompute, us(10),
+                     Timeline::join(delivered, prev));
+  }
+  // 4 copies + 4 decodes serially = 80us; pipelined = copy0 then 4 decodes
+  // back to back = 50us.
+  EXPECT_EQ(tl.serial_total().ps(), us(80).ps());
+  EXPECT_EQ(tl.critical_path().ps(), us(50).ps());
+}
+
+TEST(Timeline, CriticalPathPlusSavedEqualsSerialExactly) {
+  // Irregular picosecond durations: the identity is exact integer
+  // arithmetic, not a float approximation.
+  Timeline tl;
+  const auto a = tl.stream();
+  const auto b = tl.stream();
+  const Duration d1 = Duration::from_ps(1234567);
+  const Duration d2 = Duration::from_ps(7654321);
+  const Duration d3 = Duration::from_ps(999983);
+  const auto e1 = tl.record(a, Resource::kCopyH2D, d1);
+  tl.record(b, Resource::kGpuCompute, d2, e1);
+  tl.record(a, Resource::kCopyH2D, d3);
+  const Duration saved = tl.serial_total() - tl.critical_path();
+  EXPECT_EQ((tl.critical_path() + saved).ps(), (d1 + d2 + d3).ps());
+  EXPECT_EQ(tl.critical_path().ps(), (d1 + d2).ps());
+  EXPECT_EQ(saved.ps(), d3.ps());
+}
+
+TEST(Timeline, ResetDropsEverything) {
+  Timeline tl;
+  const auto s = tl.stream();
+  tl.record(s, Resource::kCpu, us(5));
+  tl.reset();
+  EXPECT_EQ(tl.num_ops(), 0u);
+  EXPECT_EQ(tl.critical_path().ps(), 0);
+  EXPECT_EQ(tl.serial_total().ps(), 0);
+  EXPECT_EQ(tl.busy(Resource::kCpu).ps(), 0);
+  const auto s2 = tl.stream();
+  EXPECT_EQ(s2, 0u);  // stream ids restart
+  const auto e = tl.record(s2, Resource::kCpu, us(3));
+  EXPECT_EQ(e.at.ps(), us(3).ps());
+}
