@@ -288,6 +288,7 @@ inline Json step_json(const core::StepRecord& r) {
     j["longer_prefetched"] = r.shape.longer_prefetched;
   }
   if (r.kind == core::StepKind::kTransfer) j["migration"] = r.migration;
+  if (r.faulted) j["faulted"] = true;
   j["output_count"] = r.output_count;
   if (r.gpu_kernels > 0) j["gpu_kernels"] = r.gpu_kernels;
   j["us"] = r.duration.us();
@@ -365,6 +366,26 @@ inline Json overlap_json(const core::OverlapCounters& o) {
   j["prefetch_dropped"] = o.prefetch_dropped;
   j["h2d_busy_us"] = o.h2d_busy.us();
   j["d2h_busy_us"] = o.d2h_busy.us();
+  return j;
+}
+
+/// Fault/degradation counters (DESIGN.md §11) as a JSON object.
+inline Json fault_json(const fault::FaultCounters& f) {
+  Json j = Json::object();
+  j["gpu_faults"] = f.gpu_faults;
+  j["pcie_errors"] = f.pcie_errors;
+  j["gpu_wasted_us"] = f.gpu_wasted.us();
+  j["pcie_retry_us"] = f.pcie_retry_time.us();
+  j["replica_failures"] = f.replica_failures;
+  j["failovers"] = f.failovers;
+  j["slow_replicas"] = f.slow_replicas;
+  j["backoff_us"] = f.backoff_time.us();
+  j["breaker_opens"] = f.breaker_opens;
+  j["breaker_short_circuits"] = f.breaker_short_circuits;
+  j["deadline_misses"] = f.deadline_misses;
+  j["shards_dropped"] = f.shards_dropped;
+  j["degraded_queries"] = f.degraded_queries;
+  j["shed_queries"] = f.shed_queries;
   return j;
 }
 

@@ -25,11 +25,13 @@
 #include <span>
 #include <vector>
 
+#include "cluster/breaker.h"
 #include "cluster/hedging.h"
 #include "cluster/partitioner.h"
 #include "cluster/result_cache.h"
 #include "cluster/shard_node.h"
 #include "core/hybrid_engine.h"
+#include "fault/fault.h"
 #include "service/service_sim.h"
 
 namespace griffin::cluster {
@@ -38,6 +40,11 @@ namespace griffin::cluster {
 /// the *primary* replica's service time is multiplied by `slowdown` (a GC
 /// pause, a flaky disk, a noisy neighbor). The hedge replica is a different
 /// machine and runs at normal speed — the scenario hedging exists for.
+///
+/// Alias kept for existing callers/benches: the broker folds this into the
+/// fault injector's "slow" site (ClusterConfig::faults) at construction —
+/// one injection mechanism, two spellings. Setting faults.slow directly
+/// takes precedence.
 struct StragglerConfig {
   double probability = 0.0;
   double slowdown = 10.0;
@@ -62,6 +69,43 @@ struct ClusterConfig {
   double arrival_qps = 200.0;
   StragglerConfig straggler;
   std::uint64_t seed = 1;
+
+  /// Fault-injection schedule (DESIGN.md §11). Engine sites (gpu, pcie) are
+  /// copied into every shard's HybridOptions with fault_scope = shard id;
+  /// cluster sites (crash, slow, outages) drive the broker's attempt loop.
+  /// The fault seed is mixed with `seed` at construction so two runs that
+  /// differ only in the cluster seed see different fault placements.
+  fault::FaultConfig faults;
+  /// Per-shard response deadline, measured from the instant the scatter
+  /// reaches the shard. A shard that has not answered by then is dropped
+  /// from the gather (partial result, coverage < 1). Zero disables it.
+  sim::Duration shard_deadline;
+  /// Submission attempts per shard before giving up; attempt i goes to
+  /// replica (i mod replicas_per_shard).
+  std::uint32_t max_attempts = 3;
+  /// Base retry backoff after a detected replica crash; attempt i waits
+  /// retry_backoff * 2^i (exponential).
+  sim::Duration retry_backoff = sim::Duration::from_us(100);
+  /// Timeout paid to discover a dead replica before failing over.
+  sim::Duration crash_detect = sim::Duration::from_us(500);
+  /// Per-replica circuit breaker; open breakers short-circuit attempts
+  /// without paying crash_detect.
+  BreakerConfig breaker;
+  /// Record a per-query outcome row (coverage, degraded flag, merged top-k)
+  /// in ClusterResult::outcomes. Off by default: it holds the merged top-k
+  /// per query, so memory grows with the stream.
+  bool record_outcomes = false;
+};
+
+/// Per-query gather outcome, recorded when ClusterConfig::record_outcomes
+/// is set. Non-degraded outcomes are bit-identical to a fault-free run —
+/// the equivalence test_fault_cluster sweeps.
+struct QueryOutcome {
+  std::uint64_t query = 0;  ///< index in the replayed stream
+  bool cache_hit = false;
+  bool degraded = false;  ///< gathered with coverage < 1
+  double coverage = 1.0;  ///< shards answered / shards total
+  std::vector<core::ScoredDoc> topk;
 };
 
 struct ClusterResult {
@@ -87,7 +131,22 @@ struct ClusterResult {
   std::uint64_t cache_hits_served = 0;
   sim::Duration horizon;  ///< last event in the run
 
+  /// Fault and degradation counters: engine-level faults summed over every
+  /// shard execution plus the broker's own failure handling.
+  fault::FaultCounters faults;
+  /// Coverage (shards answered / total) accumulated over gathered (cache-
+  /// missing) queries; mean_coverage() is 1.0 exactly when nothing degraded.
+  double coverage_sum = 0.0;
+  double min_coverage = 1.0;
+  std::uint64_t gathered_queries = 0;
+  /// Per-query outcomes; filled only when ClusterConfig::record_outcomes.
+  std::vector<QueryOutcome> outcomes;
+
   double mean_response_ms() const { return response_ms.mean(); }
+  double mean_coverage() const {
+    return gathered_queries == 0 ? 1.0
+                                 : coverage_sum / double(gathered_queries);
+  }
 };
 
 class ClusterBroker {
@@ -114,9 +173,11 @@ class ClusterBroker {
   ShardNode& node(std::uint32_t s) { return *nodes_[s]; }
   const ShardNode& node(std::uint32_t s) const { return *nodes_[s]; }
   const ClusterConfig& config() const { return cfg_; }
+  const fault::FaultInjector& injector() const { return injector_; }
 
  private:
-  ClusterConfig cfg_;
+  ClusterConfig cfg_;  ///< normalized: straggler folded into faults.slow
+  fault::FaultInjector injector_;
   std::vector<std::unique_ptr<ShardNode>> nodes_;
 };
 

@@ -11,13 +11,21 @@
 // exactly (cluster/broker.cpp). Hedged work is not cancelled on either side
 // — the conservative no-cancellation variant — so replica queues absorb the
 // duplicate service time.
+//
+// The delay estimate runs over a bounded sliding window of the most recent
+// observations (HedgeConfig::window), not the full history: a long service
+// run would otherwise grow memory without bound, and — worse — the estimate
+// would never adapt to a regime shift (a warming cache, a recovered
+// replica), because millions of stale samples outvote every new one.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "sim/time.h"
-#include "util/stats.h"
 
 namespace griffin::cluster {
 
@@ -29,6 +37,10 @@ struct HedgeConfig {
   /// Observations required before the percentile estimate is trusted; no
   /// hedges fire during warm-up.
   std::uint32_t min_samples = 32;
+  /// Sliding-window size for the percentile estimate: only the most recent
+  /// `window` observations vote. 0 keeps every observation (the unbounded
+  /// pre-window behavior — memory grows with the run).
+  std::uint32_t window = 512;
 };
 
 class HedgeController {
@@ -37,25 +49,51 @@ class HedgeController {
 
   const HedgeConfig& config() const { return cfg_; }
 
-  /// Current hedge delay, or nullopt while disabled / warming up.
+  /// Current hedge delay, or nullopt while disabled / warming up. Warm-up
+  /// counts *total* observations, so a controller stays trusted once warmed
+  /// even though the window holds only the newest samples.
   std::optional<sim::Duration> delay() const {
-    if (!cfg_.enabled || observed_ms_.count() < cfg_.min_samples) {
+    if (!cfg_.enabled || total_ < cfg_.min_samples || samples_.empty()) {
       return std::nullopt;
     }
-    return sim::Duration::from_ms(observed_ms_.percentile(cfg_.percentile));
+    return sim::Duration::from_ms(percentile(cfg_.percentile));
   }
 
   /// Feeds one observed shard response time (queueing + service, as seen by
-  /// the broker).
+  /// the broker). Past the window bound, the oldest observation is
+  /// overwritten (ring buffer).
   void record(sim::Duration shard_response) {
-    observed_ms_.add(shard_response.ms());
+    const double ms = shard_response.ms();
+    if (cfg_.window == 0 || samples_.size() < cfg_.window) {
+      samples_.push_back(ms);
+    } else {
+      samples_[next_] = ms;
+      next_ = (next_ + 1) % cfg_.window;
+    }
+    ++total_;
   }
 
-  std::size_t observations() const { return observed_ms_.count(); }
+  /// Observations ever recorded (not the window occupancy).
+  std::size_t observations() const { return total_; }
+  std::size_t window_size() const { return samples_.size(); }
 
  private:
+  /// Nearest-rank percentile over the current window — the same rule
+  /// util::PercentileTracker uses, restricted to the resident samples.
+  double percentile(double p) const {
+    scratch_ = samples_;
+    std::sort(scratch_.begin(), scratch_.end());
+    const auto n = static_cast<double>(scratch_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    rank = std::clamp<std::size_t>(rank, 1, scratch_.size());
+    return scratch_[rank - 1];
+  }
+
   HedgeConfig cfg_;
-  util::PercentileTracker observed_ms_;
+  std::vector<double> samples_;  ///< ring buffer once full
+  std::size_t next_ = 0;         ///< overwrite cursor
+  std::size_t total_ = 0;        ///< lifetime observation count
+  mutable std::vector<double> scratch_;
 };
 
 struct HedgeStats {

@@ -20,6 +20,7 @@ core::QueryResult ShardNode::execute(const core::Query& q) {
   cache_ += res.metrics.cache;
   trace_.add(res.trace);
   overlap_ += res.metrics.overlap;
+  faults_ += res.metrics.faults;
   return res;
 }
 

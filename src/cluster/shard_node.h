@@ -50,6 +50,10 @@ class ShardNode {
   /// busy time) summed over every execute() on this node.
   const core::OverlapCounters& overlap_counters() const { return overlap_; }
 
+  /// Engine-level fault counters (GPU step aborts, PCIe retries) summed
+  /// over every execute() on this node.
+  const fault::FaultCounters& fault_counters() const { return faults_; }
+
  private:
   index::IndexShard shard_;
   core::HybridEngine engine_;
@@ -57,6 +61,7 @@ class ShardNode {
   core::CacheCounters cache_;
   core::TraceSummary trace_;
   core::OverlapCounters overlap_;
+  fault::FaultCounters faults_;
   std::vector<index::TermId> scratch_terms_;
 };
 

@@ -37,7 +37,12 @@ core::QueryResult GpuEngine::execute(const core::Query& q) {
 namespace griffin::core {
 
 QueryResult HybridEngine::execute(const Query& q) {
-  StepExecutor exec(hw_.cpu, &svs_, &exec_, scorer_);
+  // Only the hybrid engine wires the injector: it alone has a CPU backend
+  // to degrade onto. Disarmed fault config passes nullptr, so the zero-
+  // fault path is the exact pre-fault code path (golden parity).
+  const fault::FaultInjector* inj =
+      opt_.faults.engine_faults_armed() ? &injector_ : nullptr;
+  StepExecutor exec(hw_.cpu, &svs_, &exec_, scorer_, inj, opt_.fault_scope);
   Planner planner(*idx_, sched_, exec);
   return run_plan(planner, exec, q);
 }

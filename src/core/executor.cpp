@@ -4,13 +4,15 @@
 
 namespace griffin::core {
 
-void StepExecutor::begin_query() {
+void StepExecutor::begin_query(const Query& q) {
   host_current_.clear();
   loc_.reset();
   tl_.reset();
   cpu_stream_ = tl_.stream();
   frontier_ = sim::Timeline::Event{};
-  if (gpu_ != nullptr) gpu_->begin_query(&tl_);
+  query_id_ = q.id;
+  step_index_ = 0;
+  if (gpu_ != nullptr) gpu_->begin_query(&tl_, q.id);
 }
 
 void StepExecutor::finish_query(QueryMetrics& m) {
@@ -93,8 +95,80 @@ void StepExecutor::dispatch(const PlanStep& step, const Query& q,
   m.add_stage(rank.time(), &m.rank);
 }
 
-void StepExecutor::run(const PlanStep& step, const Query& q,
+void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
+  QueryMetrics& m = res.metrics;
+  StepRecord rec;
+  rec.faulted = true;
+  rec.placement = Placement::kGpu;
+  rec.resource = sim::Resource::kGpuCompute;
+
+  // The affected terms: invalidated in the device cache by the reset (the
+  // simulated ECC error retired their pages).
+  index::TermId terms[2];
+  std::size_t num_terms = 0;
+  sim::Duration* stage = &m.intersect;
+  if (const auto* d = std::get_if<DecodeStep>(&step)) {
+    rec.kind = StepKind::kDecode;
+    rec.term = d->term;
+    terms[num_terms++] = d->term;
+    stage = &m.decode;
+  } else {
+    const auto& i = std::get<IntersectStep>(step);
+    rec.kind = StepKind::kIntersect;
+    rec.term = i.term;
+    rec.shape = i.shape;
+    terms[num_terms++] = i.term;
+    if (i.first_pair) terms[num_terms++] = i.probe_term;
+  }
+
+  const std::size_t ops0 = tl_.num_ops();
+  const sim::Duration waste =
+      sim::Duration::from_us(injector_->config().gpu_fault_cost_us);
+  gpu_->set_chain(frontier_);
+  gpu_->charge_fault(waste, stage, m);  // serial charge + compute-stream op
+  gpu_->fault_reset(std::span<const index::TermId>(terms, num_terms), m);
+  frontier_ = gpu_->chain();
+  ++m.faults.gpu_faults;
+  m.faults.gpu_wasted += waste;
+
+  rec.duration = waste;
+  if (stage == &m.decode) {
+    rec.decode = waste;
+  } else {
+    rec.intersect = waste;
+  }
+  rec.output_count = intermediate_count();
+  if (tl_.num_ops() > ops0) {
+    rec.issue = tl_.ops()[ops0].issue;
+    rec.start = tl_.ops()[ops0].start;
+    rec.end = tl_.ops()[ops0].end;
+  } else {
+    rec.issue = rec.start = rec.end = frontier_.at;
+  }
+  assert(tl_.serial_total() == m.total);
+  res.trace.push_back(rec);
+}
+
+bool StepExecutor::run(const PlanStep& step, const Query& q,
                        QueryResult& res) {
+  // Pre-dispatch fault check for GPU compute steps (DESIGN.md §11): the
+  // fault fires before the step's kernels consume the intermediate, so the
+  // device state from the last committed step stays intact and the CPU
+  // re-plan can drain it through the normal migration path.
+  if (injector_ != nullptr && svs_ != nullptr) {
+    bool gpu_compute = false;
+    if (const auto* d = std::get_if<DecodeStep>(&step)) {
+      gpu_compute = d->where == Placement::kGpu;
+    } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
+      gpu_compute = i->where == Placement::kGpu;
+    }
+    if (gpu_compute &&
+        injector_->gpu_step_fault(fault_scope_, query_id_, step_index_)) {
+      abandon_gpu_step(step, res);
+      ++step_index_;
+      return false;
+    }
+  }
   const QueryMetrics& m = res.metrics;
   StepRecord rec;
   const sim::Duration total0 = m.total;
@@ -188,16 +262,23 @@ void StepExecutor::run(const PlanStep& step, const Query& q,
   // Every serial charge must have been mirrored as a timeline op.
   assert(tl_.serial_total() == m.total);
   res.trace.push_back(rec);
+  ++step_index_;
+  return true;
 }
 
 QueryResult run_plan(Planner& planner, StepExecutor& exec, const Query& q) {
   QueryResult res;
   if (q.terms.empty()) return res;
-  exec.begin_query();
+  exec.begin_query(q);
   planner.begin(q);
   while (const auto step = planner.next(exec.intermediate_count(),
                                         exec.location())) {
-    exec.run(*step, q, res);
+    if (!exec.run(*step, q, res)) {
+      // An injected device fault abandoned this GPU step: pin the rest of
+      // the plan to the CPU and replay from the abandoned step. At most one
+      // fault fires per query — every later step is CPU-placed.
+      planner.degrade_to_cpu(*step);
+    }
   }
   exec.finish_query(res.metrics);
   return res;

@@ -29,20 +29,36 @@ class StepExecutor : public ResidencyProbe {
  public:
   /// `svs` and/or `gpu` may be nullptr when the scheduler policy can never
   /// place a step on that backend. `scorer` and the rank spec are always
-  /// required (ranking is unconditionally CPU-side).
+  /// required (ranking is unconditionally CPU-side). A non-null `injector`
+  /// arms fault injection (DESIGN.md §11): GPU compute steps may be
+  /// abandoned (degrading the plan to the CPU — requires a non-null `svs`)
+  /// and the GpuExecutor's DMAs draw PCIe error coordinates. `fault_scope`
+  /// is the shard id in a cluster, 0 standalone.
   StepExecutor(sim::CpuSpec rank_spec, cpu::SvsStepper* svs,
-               gpu::GpuExecutor* gpu, const cpu::Bm25Scorer& scorer)
-      : rank_spec_(rank_spec), svs_(svs), gpu_(gpu), scorer_(&scorer) {}
+               gpu::GpuExecutor* gpu, const cpu::Bm25Scorer& scorer,
+               const fault::FaultInjector* injector = nullptr,
+               std::uint32_t fault_scope = 0)
+      : rank_spec_(rank_spec),
+        svs_(svs),
+        gpu_(gpu),
+        scorer_(&scorer),
+        injector_(injector),
+        fault_scope_(fault_scope) {
+    if (gpu_ != nullptr) gpu_->set_fault_injector(injector, fault_scope);
+  }
 
   /// Resets per-query state (host intermediate, device buffers) and the
   /// timeline (DESIGN.md §10): one CPU stream here, one copy + one compute
-  /// stream inside the GpuExecutor.
-  void begin_query();
+  /// stream inside the GpuExecutor. The query keys fault coordinates.
+  void begin_query(const Query& q);
 
   /// Executes one step: charges res.metrics through the backend, mirrors
   /// the charges onto the timeline, and appends the StepRecord (with its
-  /// issue/start/end placement) to res.trace.
-  void run(const PlanStep& step, const Query& q, QueryResult& res);
+  /// issue/start/end placement) to res.trace. Returns false when an
+  /// injected GPU device fault abandoned the step — the wasted time is
+  /// charged, device caches are invalidated, and the caller must re-plan
+  /// via Planner::degrade_to_cpu (run_plan does).
+  bool run(const PlanStep& step, const Query& q, QueryResult& res);
 
   /// Releases device buffers (dropping unconsumed prefetches into m), then
   /// settles the asynchronous accounting: m.total becomes the timeline's
@@ -71,11 +87,18 @@ class StepExecutor : public ResidencyProbe {
 
  private:
   void dispatch(const PlanStep& step, const Query& q, QueryResult& res);
+  /// The fault-abort path of run(): charges the wasted device time, resets
+  /// the GpuExecutor's per-step state, and appends the faulted StepRecord.
+  void abandon_gpu_step(const PlanStep& step, QueryResult& res);
 
   sim::CpuSpec rank_spec_;
   cpu::SvsStepper* svs_;
   gpu::GpuExecutor* gpu_;
   const cpu::Bm25Scorer* scorer_;
+  const fault::FaultInjector* injector_;
+  std::uint32_t fault_scope_;
+  std::uint64_t query_id_ = 0;
+  std::uint64_t step_index_ = 0;  ///< fault coordinate of the next step
   std::vector<codec::DocId> host_current_;  ///< valid when loc_ == kCpu
   std::optional<Placement> loc_;
   sim::Timeline tl_;

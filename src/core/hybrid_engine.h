@@ -23,6 +23,13 @@ struct HybridOptions {
   SchedulerOptions scheduler;
   gpu::GpuOptions gpu;
   cpu::CpuEngineOptions cpu;
+  /// Fault injection (DESIGN.md §11). The engine reads the gpu and pcie
+  /// sites; everything disarmed (the default) executes bit-identically to a
+  /// build without the injector.
+  fault::FaultConfig faults;
+  /// Fault-coordinate scope: the shard id when this engine serves a cluster
+  /// shard (cluster/broker.cpp sets it), 0 standalone.
+  std::uint32_t fault_scope = 0;
 };
 
 class HybridEngine : public Engine {
@@ -33,6 +40,7 @@ class HybridEngine : public Engine {
         hw_(hw),
         opt_(opt),
         sched_(opt.scheduler, hw),
+        injector_(opt.faults),
         exec_(idx, hw, opt.gpu),
         host_cache_(opt.cpu.decoded_cache_bytes),
         svs_(idx, hw.cpu,
@@ -46,12 +54,14 @@ class HybridEngine : public Engine {
   const Scheduler& scheduler() const { return sched_; }
   const gpu::GpuExecutor& executor() const { return exec_; }
   const cpu::DecodedCache& decoded_cache() const { return host_cache_; }
+  const fault::FaultInjector& injector() const { return injector_; }
 
  private:
   const index::InvertedIndex* idx_;
   sim::HardwareSpec hw_;
   HybridOptions opt_;
   Scheduler sched_;
+  fault::FaultInjector injector_;  ///< before exec_: executors point at it
   gpu::GpuExecutor exec_;
   cpu::DecodedCache host_cache_;
   cpu::SvsStepper svs_;

@@ -19,6 +19,32 @@ StepShape Planner::shape_for(std::uint64_t shorter, index::TermId longer_term,
   return s;
 }
 
+void Planner::degrade_to_cpu(const PlanStep& step) {
+  forced_cpu_ = true;
+  // A prefetch staged alongside the faulted step has no consumer anymore
+  // (the executor discards the in-flight uploads as part of its recovery).
+  staged_prefetch_.reset();
+  if (std::holds_alternative<DecodeStep>(step)) {
+    // Single-term GPU decode: restart the plan; the re-emitted decode runs
+    // on the host.
+    stage_ = Stage::kStart;
+    return;
+  }
+  const auto& i = std::get<IntersectStep>(step);
+  if (i.first_pair) {
+    // No intermediate existed yet: replay from the start (next() will
+    // re-emit the first pair, now placed on the CPU).
+    stage_ = Stage::kStart;
+    next_term_ = 0;
+  } else {
+    // Un-consume the faulted step's term; next() re-decides it at the
+    // current (device-resident) intermediate, forcing CPU — which triggers
+    // the normal migration Transfer + pending-Intersect sequence.
+    --next_term_;
+    stage_ = Stage::kIntersect;
+  }
+}
+
 void Planner::maybe_stage_prefetch(const IntersectStep& step) {
   const SchedulerOptions& o = sched_->options();
   if (!o.prefetch || step.where != Placement::kGpu) return;
@@ -44,6 +70,7 @@ void Planner::begin(const Query& q) {
   next_term_ = 0;
   stage_ = terms_.empty() ? Stage::kDone : Stage::kStart;
   staged_prefetch_.reset();
+  forced_cpu_ = false;
 }
 
 std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
@@ -64,7 +91,8 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
       // over PCIe for nothing. Only the static GPU baseline (kAlwaysGpu,
       // i.e. the GPU-only engine) is forced to the device.
       const Placement where =
-          sched_->options().policy == SchedulerPolicy::kAlwaysGpu
+          !forced_cpu_ &&
+                  sched_->options().policy == SchedulerPolicy::kAlwaysGpu
               ? Placement::kGpu
               : Placement::kCpu;
       stage_ = Stage::kDrain;
@@ -77,7 +105,7 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
     step.first_pair = true;
     step.shape = shape_for(idx_->list(terms_[0]).size(), terms_[1],
                            std::nullopt);
-    step.where = sched_->decide(step.shape);
+    step.where = forced_cpu_ ? Placement::kCpu : sched_->decide(step.shape);
     next_term_ = 2;
     stage_ = Stage::kIntersect;
     maybe_stage_prefetch(step);
@@ -96,7 +124,7 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
       IntersectStep step;
       step.term = terms_[next_term_];
       step.shape = shape_for(intermediate_count, terms_[next_term_], location);
-      step.where = sched_->decide(step.shape);
+      step.where = forced_cpu_ ? Placement::kCpu : sched_->decide(step.shape);
       ++next_term_;
       maybe_stage_prefetch(step);
       if (location.has_value() && step.where != *location) {

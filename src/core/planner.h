@@ -64,6 +64,19 @@ class Planner {
   std::optional<PlanStep> next(std::uint64_t intermediate_count,
                                std::optional<Placement> location);
 
+  /// Degraded execution after an injected GPU device fault (DESIGN.md §11):
+  /// `step` is the GPU compute step the executor abandoned. The state
+  /// machine rewinds so the same logical step is re-emitted — and every
+  /// placement decision from here on is forced to the CPU, which reuses the
+  /// existing migration path to drain the (intact) device intermediate and
+  /// finish the query host-side. Results stay bit-identical to the
+  /// fault-free run; only the timing carries the wasted device charge.
+  void degrade_to_cpu(const PlanStep& step);
+
+  /// All placement decisions are pinned to the CPU for the rest of this
+  /// query (set by degrade_to_cpu, cleared by begin).
+  bool forced_cpu() const { return forced_cpu_; }
+
   /// The StepShape the scheduler would decide on for intersecting an
   /// intermediate of `shorter` docs at `location` with `longer_term` — the
   /// probes fill the residency bits. Public so trace consumers (tests, the
@@ -99,6 +112,7 @@ class Planner {
   Stage stage_ = Stage::kDone;
   IntersectStep pending_;  ///< valid in kPendingIntersect
   std::optional<index::TermId> staged_prefetch_;
+  bool forced_cpu_ = false;  ///< degraded: every decision pinned to the CPU
 };
 
 }  // namespace griffin::core

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "index/inverted_index.h"
 #include "sim/time.h"
 #include "sim/timeline.h"
@@ -80,6 +81,10 @@ struct StepRecord {
   /// kTransfer only: a mid-query placement flip (QueryMetrics::migrations),
   /// as opposed to the final device->host drain before ranking.
   bool migration = false;
+  /// The step was abandoned by an injected GPU device fault (DESIGN.md §11):
+  /// its duration is the wasted device time, its work was redone on the CPU
+  /// by the re-planned steps that follow it in the trace.
+  bool faulted = false;
   sim::Duration duration;          ///< decode + intersect + transfer + rank
   sim::Duration decode;
   sim::Duration intersect;
@@ -111,12 +116,20 @@ struct TraceSummary {
   std::uint64_t cpu_intersects = 0;  ///< intersect steps placed on the CPU
   std::uint64_t gpu_intersects = 0;  ///< intersect steps placed on the GPU
   std::uint64_t migrations = 0;      ///< transfer steps that were migrations
+  std::uint64_t faulted_steps = 0;   ///< steps abandoned by injected faults
   /// Summed StepRecord::duration — the *serial* stage time, i.e. per query
   /// QueryMetrics::total (critical path) + overlap.saved.
   sim::Duration step_time;
 
   void add(const StepRecord& r) {
     ++steps;
+    if (r.faulted) {
+      // An abandoned step's wasted time is real, but it did no stage work —
+      // counting it as a gpu_intersect would misstate the processor split.
+      ++faulted_steps;
+      step_time += r.duration;
+      return;
+    }
     switch (r.kind) {
       case StepKind::kDecode: ++decode_steps; break;
       case StepKind::kIntersect:
@@ -145,6 +158,7 @@ struct TraceSummary {
     cpu_intersects += o.cpu_intersects;
     gpu_intersects += o.gpu_intersects;
     migrations += o.migrations;
+    faulted_steps += o.faulted_steps;
     step_time += o.step_time;
     return *this;
   }
@@ -228,6 +242,7 @@ struct QueryMetrics {
   std::uint64_t result_count = 0; ///< docs matching all terms
   CacheCounters cache;            ///< per-query cache-tier counters
   OverlapCounters overlap;        ///< copy/compute-overlap accounting
+  fault::FaultCounters faults;    ///< injected-fault / degradation counters
   std::vector<Placement> placements;  ///< one per intersection step
 
   void add_stage(sim::Duration d, sim::Duration* stage) {

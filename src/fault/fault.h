@@ -1,0 +1,238 @@
+// Seeded, deterministic fault injection (DESIGN.md §11). Every layer that
+// can fail — a GPU compute step (simulated kernel/ECC error), a PCIe DMA
+// (link-level transfer error with bounded retry), a shard replica (crash /
+// recovery window), a whole replica running slow (the straggler model the
+// hedging bench uses) — asks one injector whether a fault fires at a given
+// *coordinate* (query id, step index, transfer sequence, simulated instant).
+//
+// Decisions are pure hashes of (run seed, site salt, coordinates), not draws
+// from a shared random stream: they are order-independent and replayable, a
+// retry re-asks a *different* coordinate (the attempt number) rather than
+// perturbing anyone else's randomness, and a site with probability zero
+// consumes nothing — which is what makes the zero-fault configuration
+// bit-identical to a build without the injector at all (the golden-parity
+// invariant the fault tests enforce).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace griffin::fault {
+
+/// A scripted fault point: fires for exactly one (query, scope) pair, where
+/// scope is the shard id in a cluster (0 for a standalone engine). Scripted
+/// triggers make single-fault tests readable: no probability tuning, the
+/// fault lands exactly where the test points.
+struct Trigger {
+  std::uint64_t query = 0;
+  std::uint32_t scope = 0;
+};
+
+/// One fault site's schedule: a per-coordinate probability, scripted
+/// triggers, or both. Probability zero with no triggers disarms the site.
+struct SiteConfig {
+  double probability = 0.0;
+  std::vector<Trigger> triggers;
+
+  bool armed() const { return probability > 0.0 || !triggers.empty(); }
+  bool triggered(std::uint64_t query, std::uint32_t scope) const {
+    return std::any_of(triggers.begin(), triggers.end(),
+                       [&](const Trigger& t) {
+                         return t.query == query && t.scope == scope;
+                       });
+  }
+};
+
+/// A scripted replica outage: the replica is unreachable for t in
+/// [start, end). Complements the probabilistic crash-window model for tests
+/// that need an exact failure interval.
+struct Outage {
+  std::uint32_t shard = 0;
+  std::uint32_t replica = 0;
+  sim::Duration start;
+  sim::Duration end;
+};
+
+struct FaultConfig {
+  /// GPU device faults: per (scope, query, step-index) coordinate, checked
+  /// for every plan step placed on the GPU. A hit abandons the step and
+  /// degrades the rest of the query to the CPU (core/executor.cpp).
+  SiteConfig gpu;
+  /// PCIe transfer errors: per (scope, query, transfer-sequence, attempt)
+  /// coordinate, checked inside pcie::TransferLedger. Each failed attempt
+  /// re-pays the full transfer time; after `pcie_max_retries` failures the
+  /// link-level retry is assumed to have succeeded (timing-only — data is
+  /// never corrupted).
+  SiteConfig pcie;
+  /// Replica crashes: per (shard, replica, time-window) coordinate — a
+  /// window hashing under the probability is an outage of one
+  /// `crash_window_ms`, so recovery happens naturally at the next window.
+  SiteConfig crash;
+  /// Slow replicas (the straggler model): per (query, shard) coordinate,
+  /// multiplying the primary replica's service time by `slow_factor`.
+  /// cluster::StragglerConfig is an alias onto this site.
+  SiteConfig slow;
+
+  /// Wasted device time charged for an abandoned GPU step (the kernel ran
+  /// partway before the error surfaced).
+  double gpu_fault_cost_us = 50.0;
+  /// Failed attempts a single DMA may accumulate before the link-level
+  /// retry is assumed successful.
+  std::uint32_t pcie_max_retries = 3;
+  /// Granularity of the probabilistic replica-outage model.
+  double crash_window_ms = 50.0;
+  double slow_factor = 10.0;
+  std::vector<Outage> outages;  ///< scripted replica outages
+
+  std::uint64_t seed = 1;
+
+  bool engine_faults_armed() const { return gpu.armed() || pcie.armed(); }
+  bool any_armed() const {
+    return engine_faults_armed() || crash.armed() || slow.armed() ||
+           !outages.empty();
+  }
+};
+
+/// Per-query / per-run fault and degradation counters, threaded
+/// QueryMetrics -> ShardNode -> ClusterResult -> ServiceResult exactly like
+/// CacheCounters and OverlapCounters. The engine fills the first block; the
+/// broker and service sim fill the rest.
+struct FaultCounters {
+  // Engine-level (per query, summed upward).
+  std::uint64_t gpu_faults = 0;   ///< GPU steps abandoned mid-query
+  std::uint64_t pcie_errors = 0;  ///< failed DMA attempts (retried)
+  sim::Duration gpu_wasted;       ///< time charged to abandoned GPU steps
+  sim::Duration pcie_retry_time;  ///< transfer time re-paid by retries
+
+  // Broker-level (per run).
+  std::uint64_t replica_failures = 0;  ///< submits that found a replica down
+  std::uint64_t failovers = 0;    ///< queries answered by a non-primary
+  std::uint64_t slow_replicas = 0;     ///< straggler injections
+  sim::Duration backoff_time;          ///< time spent in retry backoff
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_short_circuits = 0;  ///< attempts skipped while open
+  std::uint64_t deadline_misses = 0;  ///< shards dropped past the deadline
+  std::uint64_t shards_dropped = 0;  ///< (query, shard) pairs left unanswered
+  std::uint64_t degraded_queries = 0;  ///< gathered with coverage < 1
+
+  // Service-level (per run).
+  std::uint64_t shed_queries = 0;  ///< rejected by admission control
+
+  FaultCounters& operator+=(const FaultCounters& o) {
+    gpu_faults += o.gpu_faults;
+    pcie_errors += o.pcie_errors;
+    gpu_wasted += o.gpu_wasted;
+    pcie_retry_time += o.pcie_retry_time;
+    replica_failures += o.replica_failures;
+    failovers += o.failovers;
+    slow_replicas += o.slow_replicas;
+    backoff_time += o.backoff_time;
+    breaker_opens += o.breaker_opens;
+    breaker_short_circuits += o.breaker_short_circuits;
+    deadline_misses += o.deadline_misses;
+    shards_dropped += o.shards_dropped;
+    degraded_queries += o.degraded_queries;
+    shed_queries += o.shed_queries;
+    return *this;
+  }
+
+  bool any() const {
+    return gpu_faults + pcie_errors + replica_failures + failovers +
+               slow_replicas + breaker_opens + breaker_short_circuits +
+               deadline_misses + shards_dropped + degraded_queries +
+               shed_queries !=
+           0;
+  }
+};
+
+/// Stateless decision oracle over a FaultConfig. Every question is a pure
+/// function of (config, coordinates), so the injector can be shared by any
+/// number of shards/executors and asked in any order.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig cfg) : cfg_(std::move(cfg)) {}
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Deterministic uniform in [0, 1) for one fault coordinate: a splitmix64
+  /// chain absorbing the seed, a per-site salt, and three coordinates.
+  static double coord01(std::uint64_t seed, std::uint64_t salt,
+                        std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+    std::uint64_t s = seed ^ salt;
+    std::uint64_t h = util::splitmix64(s);
+    s = h ^ a;
+    h = util::splitmix64(s);
+    s = h ^ b;
+    h = util::splitmix64(s);
+    s = h ^ c;
+    h = util::splitmix64(s);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  /// Does plan step `step` of query `query` (running at shard `scope`) hit
+  /// a simulated device fault? Asked only for GPU-placed compute steps.
+  bool gpu_step_fault(std::uint32_t scope, std::uint64_t query,
+                      std::uint64_t step) const {
+    if (!cfg_.gpu.armed()) return false;
+    if (cfg_.gpu.triggered(query, scope)) return true;
+    return cfg_.gpu.probability > 0.0 &&
+           coord01(cfg_.seed, kGpuSalt, scope, query, step) <
+               cfg_.gpu.probability;
+  }
+
+  /// Does attempt `attempt` of DMA number `transfer` within query `query`
+  /// fail? Scripted triggers fail the first attempt of every transfer of
+  /// the (query, scope) pair — the retry then succeeds.
+  bool pcie_error(std::uint32_t scope, std::uint64_t query,
+                  std::uint64_t transfer, std::uint32_t attempt) const {
+    if (!cfg_.pcie.armed()) return false;
+    if (attempt == 0 && cfg_.pcie.triggered(query, scope)) return true;
+    return cfg_.pcie.probability > 0.0 &&
+           coord01(cfg_.seed, kPcieSalt, scope, query,
+                   (transfer << 8) | attempt) < cfg_.pcie.probability;
+  }
+
+  /// Is (shard, replica) unreachable at simulated instant `t`? Scripted
+  /// outages are checked first; otherwise each crash window of
+  /// `crash_window_ms` is down independently with the site probability, so
+  /// a crashed replica recovers at the next window boundary.
+  bool replica_down(std::uint32_t shard, std::uint32_t replica,
+                    sim::Duration t) const {
+    for (const Outage& o : cfg_.outages) {
+      if (o.shard == shard && o.replica == replica && t >= o.start &&
+          t < o.end) {
+        return true;
+      }
+    }
+    if (cfg_.crash.probability <= 0.0 || cfg_.crash_window_ms <= 0.0) {
+      return false;
+    }
+    const auto window = static_cast<std::uint64_t>(
+        t.ms() / cfg_.crash_window_ms);
+    return coord01(cfg_.seed, kCrashSalt, shard, replica, window) <
+           cfg_.crash.probability;
+  }
+
+  /// Does query `query` run `slow_factor` slow on shard `shard`'s primary?
+  bool slow(std::uint64_t query, std::uint32_t shard) const {
+    if (!cfg_.slow.armed()) return false;
+    if (cfg_.slow.triggered(query, shard)) return true;
+    return cfg_.slow.probability > 0.0 &&
+           coord01(cfg_.seed, kSlowSalt, shard, query, 0) <
+               cfg_.slow.probability;
+  }
+
+ private:
+  static constexpr std::uint64_t kGpuSalt = 0x4750555f45434331ULL;
+  static constexpr std::uint64_t kPcieSalt = 0x504349455f455252ULL;
+  static constexpr std::uint64_t kCrashSalt = 0x435241534857494eULL;
+  static constexpr std::uint64_t kSlowSalt = 0x534c4f575f524550ULL;
+
+  FaultConfig cfg_;
+};
+
+}  // namespace griffin::fault

@@ -32,12 +32,14 @@ GpuExecutor::GpuExecutor(const index::InvertedIndex& idx, sim::HardwareSpec hw,
          "Griffin-GPU decodes with Para-EF; build the index with EF");
 }
 
-void GpuExecutor::begin_query(sim::Timeline* tl) {
+void GpuExecutor::begin_query(sim::Timeline* tl, std::uint64_t query_id) {
   current_ = simt::DeviceBuffer<DocId>();
   current_count_ = kNoIntermediate;
   prefetch_.clear();
   tl_ = tl;
   chain_ = sim::Timeline::Event{};
+  fault_query_ = query_id;
+  transfer_seq_ = 0;
   if (tl_ != nullptr) {
     copy_stream_ = tl_->stream();
     compute_stream_ = tl_->stream();
@@ -69,10 +71,40 @@ void GpuExecutor::charge_ledger(const pcie::TransferLedger& ledger,
   if (tl_ != nullptr) chain_ = sim::Timeline::join(chain_, ledger.last_event());
 }
 
-void GpuExecutor::bind_ledger(pcie::TransferLedger& ledger, bool chained) {
+void GpuExecutor::arm_ledger(pcie::TransferLedger& ledger,
+                             core::QueryMetrics& m) {
+  if (injector_ != nullptr && injector_->config().pcie.armed()) {
+    ledger.arm_faults(injector_, fault_scope_, fault_query_, &transfer_seq_,
+                      &m.faults);
+  }
+}
+
+void GpuExecutor::bind_ledger(pcie::TransferLedger& ledger,
+                              core::QueryMetrics& m, bool chained) {
+  arm_ledger(ledger, m);
   if (tl_ == nullptr) return;
   ledger.bind(tl_, copy_stream_,
               chained ? chain_ : sim::Timeline::Event{});
+}
+
+void GpuExecutor::fault_reset(std::span<const index::TermId> terms,
+                              core::QueryMetrics& m) {
+  // Unlike drop_prefetches, landed uploads are NOT salvaged into the cache:
+  // the device fault voids the guarantee they arrived intact.
+  for ([[maybe_unused]] const auto& p : prefetch_) {
+    ++m.overlap.prefetch_dropped;
+  }
+  prefetch_.clear();
+  for (const index::TermId t : terms) cache_.erase(t);
+}
+
+void GpuExecutor::charge_fault(sim::Duration d, sim::Duration* stage,
+                               core::QueryMetrics& m) {
+  m.add_stage(d, stage);
+  if (tl_ != nullptr) {
+    chain_ = tl_->record(compute_stream_, sim::Resource::kGpuCompute, d,
+                         chain_);
+  }
 }
 
 void GpuExecutor::prefetch(index::TermId t, core::QueryMetrics& m) {
@@ -80,7 +112,7 @@ void GpuExecutor::prefetch(index::TermId t, core::QueryMetrics& m) {
   // status at issue time, and quietly skip when the copy is pointless.
   if (prefetched(t) || cache_.resident(t)) return;
   pcie::TransferLedger ledger;
-  bind_ledger(ledger, /*chained=*/false);  // copy-stream order only
+  bind_ledger(ledger, m, /*chained=*/false);  // copy-stream order only
   Prefetched p;
   p.list = upload_list(device_, idx_->list(t).docids, link_, ledger);
   p.ready = ledger.last_event();
@@ -137,7 +169,7 @@ GpuExecutor::AcquiredList GpuExecutor::acquire_full(index::TermId t,
     ++m.cache.device_misses;
   }
   pcie::TransferLedger ledger;
-  bind_ledger(ledger);
+  bind_ledger(ledger, m);
   a.owned.emplace(upload_list(device_, idx_->list(t).docids, link_, ledger,
                               /*defer_payload=*/chunked));
   charge_ledger(ledger, m);
@@ -161,7 +193,7 @@ simt::DeviceBuffer<DocId> GpuExecutor::decode_full_list(index::TermId t,
       tl_ != nullptr && opt_.double_buffer && opt_.copy_chunk_bytes > 0;
   AcquiredList a = acquire_full(t, m, /*chunked=*/pipelined);
   pcie::TransferLedger ledger;
-  bind_ledger(ledger);
+  bind_ledger(ledger, m);
   auto out = device_.alloc<DocId>(list.size());
   ledger.add_alloc(link_);
   charge_ledger(ledger, m);
@@ -193,6 +225,7 @@ simt::DeviceBuffer<DocId> GpuExecutor::decode_full_list(index::TermId t,
         ++hi;
       }
       pcie::TransferLedger chunk;
+      arm_ledger(chunk, m);
       if (tl_ != nullptr) chunk.bind(tl_, copy_stream_, entry);
       chunk.add_transfer_chunk(link_, bytes, /*h2d=*/true, first);
       first = false;
@@ -221,7 +254,7 @@ void GpuExecutor::intersect_first(index::TermId a, index::TermId b,
   auto da = decode_full_list(a, m);
 
   pcie::TransferLedger ledger;
-  bind_ledger(ledger);
+  bind_ledger(ledger, m);
   GpuIntersectResult r;
   std::optional<AcquiredList> pf;
   if (ratio < opt_.path_ratio) {
@@ -268,7 +301,7 @@ void GpuExecutor::intersect_next(index::TermId t, core::QueryMetrics& m) {
                 static_cast<double>(current_count_);
 
   pcie::TransferLedger ledger;
-  bind_ledger(ledger);
+  bind_ledger(ledger, m);
   GpuIntersectResult r;
   std::optional<AcquiredList> pf;
   if (ratio < opt_.path_ratio) {
@@ -305,7 +338,7 @@ void GpuExecutor::load_single(index::TermId t, core::QueryMetrics& m) {
 void GpuExecutor::upload_intermediate(std::span<const DocId> docs,
                                       core::QueryMetrics& m) {
   pcie::TransferLedger ledger;
-  bind_ledger(ledger);
+  bind_ledger(ledger, m);
   current_ = device_.alloc<DocId>(std::max<std::size_t>(docs.size(), 1));
   ledger.add_alloc(link_);
   device_.upload(current_, docs);
@@ -321,7 +354,7 @@ std::vector<DocId> GpuExecutor::download_intermediate(core::QueryMetrics& m) {
   drop_prefetches(m);
   std::vector<DocId> out(current_count_);
   pcie::TransferLedger ledger;
-  bind_ledger(ledger);
+  bind_ledger(ledger, m);
   device_.download(std::span<DocId>(out), current_);
   ledger.add_transfer(link_, out.size() * sizeof(DocId), /*h2d=*/false);
   charge_ledger(ledger, m);

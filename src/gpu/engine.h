@@ -62,8 +62,35 @@ class GpuExecutor {
   /// Drops per-query device state. With a timeline (core/executor.h passes
   /// its own), the executor opens one copy stream and one compute stream on
   /// it and records every charge as a timeline op (DESIGN.md §10); without
-  /// one, charging is purely serial as before.
-  void begin_query(sim::Timeline* tl = nullptr);
+  /// one, charging is purely serial as before. `query_id` keys fault
+  /// coordinates when an injector is set (ignored otherwise).
+  void begin_query(sim::Timeline* tl = nullptr, std::uint64_t query_id = 0);
+
+  /// Arms fault injection (DESIGN.md §11): PCIe transfer errors are drawn
+  /// per DMA inside every ledger this executor binds, and fault_reset()
+  /// becomes the executor's recovery hook for abandoned GPU steps. `scope`
+  /// is the shard id in a cluster (0 standalone). Pass nullptr to disarm.
+  void set_fault_injector(const fault::FaultInjector* injector,
+                          std::uint32_t scope) {
+    injector_ = injector;
+    fault_scope_ = scope;
+  }
+
+  /// Recovery from an injected device fault on a compute step: in-flight
+  /// prefetches are discarded *without* entering the cache (unlike
+  /// drop_prefetches — the fault voids any guarantee the uploads landed
+  /// intact) and the aborted step's terms are invalidated in the device
+  /// cache (the simulated ECC error retires their pages). The current
+  /// intermediate is untouched: the fault fired before the step's kernels
+  /// consumed it, so the migration path can still drain it to the host.
+  void fault_reset(std::span<const index::TermId> terms,
+                   core::QueryMetrics& m);
+
+  /// Charges the wasted device time of an abandoned GPU step: serially into
+  /// `*stage` and as a compute op on the timeline, advancing the chain so
+  /// the recovery steps wait out the fault like real work.
+  void charge_fault(sim::Duration d, sim::Duration* stage,
+                    core::QueryMetrics& m);
 
   /// Drops unconsumed prefetches (counting them into m) and releases
   /// per-query device state.
@@ -161,10 +188,15 @@ class GpuExecutor {
   void charge_kernel(const sim::KernelStats& s, sim::Duration* stage,
                      core::QueryMetrics& m, std::uint32_t kernels = 1);
   void charge_ledger(const pcie::TransferLedger& ledger, core::QueryMetrics& m);
-  /// Binds a ledger to the timeline's copy stream, chained on the current
-  /// plan frontier (chain_) — or on nothing, for prefetches, which order
-  /// only behind earlier copies.
-  void bind_ledger(pcie::TransferLedger& ledger, bool chained = true);
+  /// Arms PCIe fault injection on a ledger when an injector is set (every
+  /// ledger charging transfers for this query must pass through here or
+  /// bind_ledger so DMAs draw consecutive fault coordinates).
+  void arm_ledger(pcie::TransferLedger& ledger, core::QueryMetrics& m);
+  /// Arms the ledger for fault injection and binds it to the timeline's
+  /// copy stream, chained on the current plan frontier (chain_) — or on
+  /// nothing, for prefetches, which order only behind earlier copies.
+  void bind_ledger(pcie::TransferLedger& ledger, core::QueryMetrics& m,
+                   bool chained = true);
 
   const index::InvertedIndex* idx_;
   sim::HardwareSpec hw_;
@@ -189,6 +221,11 @@ class GpuExecutor {
   sim::Timeline::StreamId copy_stream_ = 0;
   sim::Timeline::StreamId compute_stream_ = 0;
   sim::Timeline::Event chain_;  ///< current plan-frontier event
+
+  const fault::FaultInjector* injector_ = nullptr;  ///< nullptr = no faults
+  std::uint32_t fault_scope_ = 0;   ///< shard id (0 standalone)
+  std::uint64_t fault_query_ = 0;   ///< current query's fault coordinate
+  std::uint64_t transfer_seq_ = 0;  ///< per-query DMA counter (fault coords)
 };
 
 /// The GPU-only engine the paper evaluates as "GPU only" in Figures 14/15.

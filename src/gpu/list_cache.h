@@ -52,6 +52,10 @@ class DeviceListCache {
     return cache_.insert(t, std::move(list), bytes, evicted);
   }
 
+  /// Invalidates one term's entry (an injected device fault may have
+  /// corrupted it; DESIGN.md §11). Returns true when it was resident.
+  bool erase(index::TermId t) { return cache_.erase(t); }
+
   std::uint64_t bytes() const { return cache_.bytes(); }
   std::uint64_t byte_budget() const { return cache_.byte_budget(); }
   std::size_t size() const { return cache_.size(); }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.h"
 #include "sim/hardware_spec.h"
 #include "sim/time.h"
 #include "sim/timeline.h"
@@ -71,10 +72,27 @@ struct TransferLedger {
   }
   sim::Timeline::Event last_event() const { return last_; }
 
+  /// Arms PCIe fault injection (DESIGN.md §11): every subsequent DMA draws
+  /// its transfer id from `*transfer_seq` (a per-query counter shared by all
+  /// the query's ledgers) and asks the injector per attempt; each failed
+  /// attempt re-pays the full transfer time on the same copy engine, capped
+  /// at the injector's pcie_max_retries, after which the link-level retry is
+  /// assumed to have succeeded. Timing-only: data is never corrupted.
+  void arm_faults(const fault::FaultInjector* injector, std::uint32_t scope,
+                  std::uint64_t query, std::uint64_t* transfer_seq,
+                  fault::FaultCounters* counters) {
+    injector_ = injector;
+    fault_scope_ = scope;
+    fault_query_ = query;
+    transfer_seq_ = transfer_seq;
+    fault_counters_ = counters;
+  }
+
   void add_transfer(const Link& link, std::uint64_t bytes, bool h2d) {
     (h2d ? h2d_bytes : d2h_bytes) += bytes;
     ++transfers;
     const sim::Duration t = link.transfer_time(bytes);
+    charge_retries(t, h2d);
     total += t;
     record(h2d ? sim::Resource::kCopyH2D : sim::Resource::kCopyD2H, t);
   }
@@ -86,6 +104,7 @@ struct TransferLedger {
     (h2d ? h2d_bytes : d2h_bytes) += bytes;
     ++transfers;
     const sim::Duration t = link.chunk_time(bytes, first_chunk);
+    charge_retries(t, h2d);
     total += t;
     record(h2d ? sim::Resource::kCopyH2D : sim::Resource::kCopyD2H, t);
   }
@@ -102,9 +121,33 @@ struct TransferLedger {
     last_ = tl_->record(stream_, r, d, last_);
   }
 
+  /// Failed DMA attempts before the successful one: each re-pays the full
+  /// transfer duration (the DMA ran to the error before aborting), serially
+  /// and on the timeline's copy engine, so retried time shows up in the
+  /// overlap accounting like any other copy.
+  void charge_retries(sim::Duration t, bool h2d) {
+    if (injector_ == nullptr) return;
+    const std::uint64_t id = (*transfer_seq_)++;
+    const std::uint32_t max_retries = injector_->config().pcie_max_retries;
+    for (std::uint32_t attempt = 0; attempt < max_retries; ++attempt) {
+      if (!injector_->pcie_error(fault_scope_, fault_query_, id, attempt)) {
+        break;
+      }
+      ++fault_counters_->pcie_errors;
+      fault_counters_->pcie_retry_time += t;
+      total += t;
+      record(h2d ? sim::Resource::kCopyH2D : sim::Resource::kCopyD2H, t);
+    }
+  }
+
   sim::Timeline* tl_ = nullptr;
   sim::Timeline::StreamId stream_ = 0;
   sim::Timeline::Event last_;
+  const fault::FaultInjector* injector_ = nullptr;
+  std::uint32_t fault_scope_ = 0;
+  std::uint64_t fault_query_ = 0;
+  std::uint64_t* transfer_seq_ = nullptr;
+  fault::FaultCounters* fault_counters_ = nullptr;
 };
 
 }  // namespace griffin::pcie

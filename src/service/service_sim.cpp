@@ -7,7 +7,7 @@ namespace griffin::service {
 std::vector<sim::Duration> measure_service_times(
     core::Engine& engine, const std::vector<core::Query>& queries,
     core::CacheCounters* cache, core::TraceSummary* trace,
-    core::OverlapCounters* overlap) {
+    core::OverlapCounters* overlap, fault::FaultCounters* faults) {
   std::vector<sim::Duration> times;
   times.reserve(queries.size());
   for (const auto& q : queries) {
@@ -15,6 +15,7 @@ std::vector<sim::Duration> measure_service_times(
     if (cache != nullptr) *cache += res.metrics.cache;
     if (trace != nullptr) trace->add(res.trace);
     if (overlap != nullptr) *overlap += res.metrics.overlap;
+    if (faults != nullptr) *faults += res.metrics.faults;
     times.push_back(res.metrics.total);
   }
   return times;
@@ -27,9 +28,26 @@ ServiceResult run_service(std::span<const sim::Duration> service_times,
   FcfsServer server;
   QueueDepthTracker depth;
 
+  // Admission control: completion times of admitted queries, in submit
+  // order. FCFS completions are nondecreasing, so a head pointer gives the
+  // in-system count at any arrival in O(1) amortized.
+  std::vector<sim::Duration> done_times;
+  if (cfg.max_queue_depth > 0) done_times.reserve(service_times.size());
+  std::size_t head = 0;
+
   for (const sim::Duration service : service_times) {
     const sim::Duration arrival = arrivals.next();
+    if (cfg.max_queue_depth > 0) {
+      while (head < done_times.size() && done_times[head] <= arrival) ++head;
+      if (done_times.size() - head >= cfg.max_queue_depth) {
+        // The queue is full: shed instead of letting the backlog (and every
+        // later response time) grow without bound.
+        ++res.faults.shed_queries;
+        continue;
+      }
+    }
     const Completion c = server.submit(arrival, service);
+    if (cfg.max_queue_depth > 0) done_times.push_back(c.done);
     res.service_ms.add(service.ms());
     res.response_ms.add((c.done - arrival).ms());
     depth.observe(arrival, c.done);
@@ -46,12 +64,14 @@ ServiceResult run_service(core::Engine& engine,
   core::CacheCounters cache;
   core::TraceSummary trace;
   core::OverlapCounters overlap;
-  const auto times =
-      measure_service_times(engine, queries, &cache, &trace, &overlap);
+  fault::FaultCounters faults;
+  const auto times = measure_service_times(engine, queries, &cache, &trace,
+                                           &overlap, &faults);
   ServiceResult res = run_service(std::span<const sim::Duration>(times), cfg);
   res.engine_cache = cache;
   res.trace = trace;
   res.engine_overlap = overlap;
+  res.faults += faults;
   return res;
 }
 

@@ -27,6 +27,11 @@ struct ServiceConfig {
   /// (gaps capped at one simulated hour; see service/queueing.h).
   double arrival_qps = 100.0;
   std::uint64_t seed = 99;
+  /// Admission control (DESIGN.md §11): a query arriving while this many
+  /// queries are already in the system (queued + in service) is shed — no
+  /// service, no response sample, counted in ServiceResult::faults. Zero
+  /// disables shedding (the unbounded legacy queue).
+  std::uint32_t max_queue_depth = 0;
 };
 
 struct ServiceResult {
@@ -41,8 +46,12 @@ struct ServiceResult {
   core::TraceSummary trace;
   /// Copy/compute-overlap counters over the run (same caveat).
   core::OverlapCounters engine_overlap;
+  /// Fault counters: engine-level faults from the execution pass (engine-
+  /// executing overload only) plus queries shed by admission control.
+  fault::FaultCounters faults;
 
   double mean_response_ms() const { return response_ms.mean(); }
+  std::uint64_t shed_queries() const { return faults.shed_queries; }
 };
 
 /// Queueing simulation over precomputed per-query service times (engine
@@ -56,12 +65,13 @@ ServiceResult run_service(core::Engine& engine,
                           const ServiceConfig& cfg);
 
 /// One execution pass: the service-time vector for a query set. When
-/// `cache` / `trace` / `overlap` are non-null, the engines' per-query
-/// cache-tier counters, plan-step traces, and overlap counters are summed
-/// into them.
+/// `cache` / `trace` / `overlap` / `faults` are non-null, the engines'
+/// per-query cache-tier counters, plan-step traces, overlap counters, and
+/// fault counters are summed into them.
 std::vector<sim::Duration> measure_service_times(
     core::Engine& engine, const std::vector<core::Query>& queries,
     core::CacheCounters* cache = nullptr, core::TraceSummary* trace = nullptr,
-    core::OverlapCounters* overlap = nullptr);
+    core::OverlapCounters* overlap = nullptr,
+    fault::FaultCounters* faults = nullptr);
 
 }  // namespace griffin::service

@@ -95,6 +95,18 @@ class ByteLruCache {
     return &lru_.front().value;
   }
 
+  /// Drops one entry (fault invalidation — e.g. an ECC error retiring a
+  /// cached device list). Not an eviction: the entry did not age out, so the
+  /// eviction counter is untouched. Returns true when something was removed.
+  bool erase(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
   std::size_t size() const { return lru_.size(); }
   std::uint64_t bytes() const { return bytes_; }
   std::size_t max_entries() const { return max_entries_; }

@@ -1,0 +1,265 @@
+// Engine-level fault handling (DESIGN.md §11): an injected GPU device fault
+// abandons the step, charges the wasted device time, and re-plans the rest
+// of the query on the CPU — with bit-identical results; an injected PCIe
+// error re-pays the transfer (bounded retry) and never corrupts data. And
+// the golden-parity invariant: an armed injector whose faults never fire
+// perturbs nothing.
+#include <gtest/gtest.h>
+
+#include "core/hybrid_engine.h"
+#include "engine_test_util.h"
+
+using namespace griffin;
+
+namespace {
+
+core::HybridOptions gpu_heavy_options() {
+  core::HybridOptions opt;
+  // Pin every schedulable step to the GPU so fault sites are guaranteed to
+  // be exercised; the fault path must still fall back to the CPU.
+  opt.scheduler.policy = core::SchedulerPolicy::kAlwaysGpu;
+  return opt;
+}
+
+void expect_stage_identity(const core::QueryMetrics& m) {
+  EXPECT_EQ(m.decode + m.intersect + m.transfer + m.rank,
+            m.total + m.overlap.saved);
+}
+
+}  // namespace
+
+TEST(FaultEngine, ArmedButSilentInjectorIsBitIdentical) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions plain = gpu_heavy_options();
+  core::HybridOptions armed = gpu_heavy_options();
+  // Armed sites (the injector is consulted) whose scripted faults point at
+  // a query id the log never reaches: every decision returns false, and
+  // the run must be bit-identical to one with no injector wired at all.
+  armed.faults.gpu.triggers.push_back({/*query=*/999999, /*scope=*/0});
+  armed.faults.pcie.triggers.push_back({/*query=*/999999, /*scope=*/0});
+
+  core::HybridEngine a(idx, {}, plain);
+  core::HybridEngine b(idx, {}, armed);
+
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 40;
+  qcfg.seed = 81;
+  const auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+  for (const auto& q : log) {
+    const auto ra = a.execute(q);
+    const auto rb = b.execute(q);
+    EXPECT_EQ(ra.metrics.total, rb.metrics.total);
+    EXPECT_EQ(ra.metrics.decode, rb.metrics.decode);
+    EXPECT_EQ(ra.metrics.transfer, rb.metrics.transfer);
+    EXPECT_EQ(ra.metrics.gpu_kernels, rb.metrics.gpu_kernels);
+    EXPECT_EQ(ra.trace.size(), rb.trace.size());
+    EXPECT_FALSE(rb.metrics.faults.any());
+    testutil::expect_same_topk(ra.topk, rb.topk, "armed-silent");
+  }
+}
+
+TEST(FaultEngine, GpuFaultDegradesToCpuWithIdenticalResults) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.gpu.triggers.push_back({/*query=*/0, /*scope=*/0});
+
+  core::Query q;
+  q.terms = {5, 15, 30};
+  q.id = 0;
+
+  core::HybridEngine faulty(idx, {}, opt);
+  const auto res = faulty.execute(q);
+
+  // Exactly one abandoned step: after the fault the whole remainder is
+  // forced onto the CPU, so the (every-step) trigger never fires again.
+  EXPECT_EQ(res.metrics.faults.gpu_faults, 1u);
+  EXPECT_EQ(res.metrics.faults.gpu_wasted,
+            sim::Duration::from_us(opt.faults.gpu_fault_cost_us));
+  for (const auto p : res.metrics.placements) {
+    EXPECT_EQ(p, core::Placement::kCpu);
+  }
+
+  // The wasted time is a real trace record, flagged and summarized.
+  core::TraceSummary sum;
+  sum.add(res.trace);
+  EXPECT_EQ(sum.faulted_steps, 1u);
+  EXPECT_EQ(sum.gpu_intersects, 0u);
+  bool saw_faulted = false;
+  for (const auto& r : res.trace) {
+    if (r.faulted) {
+      saw_faulted = true;
+      EXPECT_EQ(r.placement, core::Placement::kGpu);
+      EXPECT_EQ(r.duration,
+                sim::Duration::from_us(opt.faults.gpu_fault_cost_us));
+    }
+  }
+  EXPECT_TRUE(saw_faulted);
+  expect_stage_identity(res.metrics);
+
+  // Bit-identical answer to the reference and to a fault-free engine.
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "gpu-fault");
+  core::HybridEngine clean(idx, {}, gpu_heavy_options());
+  const auto ref = clean.execute(q);
+  ASSERT_EQ(res.topk.size(), ref.topk.size());
+  for (std::size_t i = 0; i < ref.topk.size(); ++i) {
+    EXPECT_EQ(res.topk[i].doc, ref.topk[i].doc);
+    EXPECT_EQ(res.topk[i].score, ref.topk[i].score);  // bit-exact
+  }
+  // The wasted device time is part of the query's latency.
+  EXPECT_GE(res.metrics.total, res.metrics.faults.gpu_wasted);
+}
+
+TEST(FaultEngine, GpuFaultOnSingleTermQuery) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.gpu.triggers.push_back({/*query=*/7, /*scope=*/0});
+
+  core::Query q;
+  q.terms = {12};
+  q.id = 7;
+  core::HybridEngine engine(idx, {}, opt);
+  const auto res = engine.execute(q);
+  EXPECT_EQ(res.metrics.faults.gpu_faults, 1u);
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "gpu-fault-decode");
+  expect_stage_identity(res.metrics);
+}
+
+TEST(FaultEngine, GpuFaultScopeGatesTheTrigger) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.gpu.triggers.push_back({/*query=*/0, /*scope=*/3});
+  opt.fault_scope = 1;  // this engine is not scope 3
+
+  core::Query q;
+  q.terms = {5, 15};
+  core::HybridEngine engine(idx, {}, opt);
+  const auto res = engine.execute(q);
+  EXPECT_EQ(res.metrics.faults.gpu_faults, 0u);
+  EXPECT_FALSE(res.metrics.faults.any());
+}
+
+TEST(FaultEngine, PcieErrorsRetryAndRepayTransferTime) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.pcie.triggers.push_back({/*query=*/0, /*scope=*/0});
+
+  core::Query q;
+  q.terms = {5, 15, 30};
+  q.id = 0;
+
+  core::HybridEngine faulty(idx, {}, opt);
+  core::HybridEngine clean(idx, {}, gpu_heavy_options());
+  const auto res = faulty.execute(q);
+  const auto ref = clean.execute(q);
+
+  // Every transfer's first attempt failed and was retried: errors counted,
+  // the re-paid time visible in both the counter and the transfer stage.
+  EXPECT_GT(res.metrics.faults.pcie_errors, 0u);
+  EXPECT_GT(res.metrics.faults.pcie_retry_time.ps(), 0);
+  EXPECT_EQ(res.metrics.transfer,
+            ref.metrics.transfer + res.metrics.faults.pcie_retry_time);
+  EXPECT_EQ(res.metrics.faults.gpu_faults, 0u);
+  expect_stage_identity(res.metrics);
+
+  // Retries are timing-only: the answer is bit-identical.
+  ASSERT_EQ(res.topk.size(), ref.topk.size());
+  for (std::size_t i = 0; i < ref.topk.size(); ++i) {
+    EXPECT_EQ(res.topk[i].doc, ref.topk[i].doc);
+    EXPECT_EQ(res.topk[i].score, ref.topk[i].score);
+  }
+}
+
+TEST(FaultEngine, PcieRetryCountIsBoundedPerTransfer) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.pcie.probability = 1.0;  // every attempt fails...
+  opt.faults.pcie_max_retries = 2;    // ...but the link gives up retrying
+
+  core::Query q;
+  q.terms = {5, 15};
+  core::HybridEngine engine(idx, {}, opt);
+  const auto res = engine.execute(q);
+  EXPECT_GT(res.metrics.faults.pcie_errors, 0u);
+
+  core::HybridEngine clean(idx, {}, gpu_heavy_options());
+  const auto ref = clean.execute(q);
+  // Worst case pays exactly max_retries extra copies of the clean transfer
+  // time (p = 1 makes the worst case the only case).
+  EXPECT_EQ(res.metrics.transfer, ref.metrics.transfer * 3.0);
+  testutil::expect_same_topk(res.topk, ref.topk, "pcie-bounded");
+}
+
+TEST(FaultEngine, ProbabilisticFaultsPreserveCorrectnessOverALog) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.gpu.probability = 0.15;
+  opt.faults.pcie.probability = 0.02;
+  opt.faults.seed = 2026;
+
+  core::HybridEngine engine(idx, {}, opt);
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 60;
+  qcfg.seed = 82;
+  const auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+
+  fault::FaultCounters total;
+  for (const auto& q : log) {
+    const auto res = engine.execute(q);
+    total += res.metrics.faults;
+    expect_stage_identity(res.metrics);
+    const auto want = testutil::reference_topk(idx, q);
+    testutil::expect_same_topk(res.topk, want, "probabilistic");
+  }
+  // The sweep actually exercised both fault sites.
+  EXPECT_GT(total.gpu_faults, 0u);
+  EXPECT_GT(total.pcie_errors, 0u);
+  EXPECT_GT(total.gpu_wasted.ps(), 0);
+}
+
+TEST(FaultEngine, FaultRunsAreDeterministic) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.gpu.probability = 0.2;
+  opt.faults.pcie.probability = 0.05;
+  opt.faults.seed = 5;
+
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 30;
+  qcfg.seed = 83;
+  const auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+
+  core::HybridEngine a(idx, {}, opt);
+  core::HybridEngine b(idx, {}, opt);
+  for (const auto& q : log) {
+    const auto ra = a.execute(q);
+    const auto rb = b.execute(q);
+    EXPECT_EQ(ra.metrics.total, rb.metrics.total);
+    EXPECT_EQ(ra.metrics.faults.gpu_faults, rb.metrics.faults.gpu_faults);
+    EXPECT_EQ(ra.metrics.faults.pcie_errors, rb.metrics.faults.pcie_errors);
+    EXPECT_EQ(ra.metrics.faults.gpu_wasted, rb.metrics.faults.gpu_wasted);
+    EXPECT_EQ(ra.trace.size(), rb.trace.size());
+  }
+}
+
+TEST(FaultEngine, HybridPolicyDegradesMidQuery) {
+  // Under the paper's ratio policy (not the pinned kAlwaysGpu), a fault on
+  // a GPU-started query must still finish on the CPU with the right answer.
+  const auto& idx = testutil::large_index();
+  core::HybridOptions opt;
+  opt.faults.gpu.triggers.push_back({/*query=*/0, /*scope=*/0});
+
+  core::Query q;
+  q.terms = {10, 11, 0};  // GPU start (balanced pair), then a huge list
+  q.id = 0;
+  core::HybridEngine engine(idx, {}, opt);
+  const auto res = engine.execute(q);
+  EXPECT_EQ(res.metrics.faults.gpu_faults, 1u);
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "hybrid-degrade");
+  expect_stage_identity(res.metrics);
+}

@@ -174,3 +174,65 @@ TEST(ServiceSimEdge, UtilizationAndDepthConsistentWithPercentiles) {
               res.service_ms.percentile(99) + 1.0);
   }
 }
+
+TEST(ServiceSimAdmission, UnboundedQueueShedsNothing) {
+  FixedEngine engine(1.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 5000.0;  // rho = 5, but max_queue_depth = 0 (unbounded)
+  const auto res = service::run_service(engine, n_queries(500), cfg);
+  EXPECT_EQ(res.faults.shed_queries, 0u);
+  EXPECT_EQ(res.response_ms.count(), 500u);
+}
+
+TEST(ServiceSimAdmission, OverloadShedsInsteadOfQueueingForever) {
+  FixedEngine engine(1.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 5000.0;  // rho = 5: the unbounded queue grows linearly
+  const auto open = service::run_service(engine, n_queries(2000), cfg);
+
+  cfg.max_queue_depth = 8;
+  const auto bounded = service::run_service(engine, n_queries(2000), cfg);
+
+  // Shedding trades answered queries for a bounded response tail.
+  EXPECT_GT(bounded.faults.shed_queries, 0u);
+  EXPECT_EQ(bounded.response_ms.count() + bounded.faults.shed_queries, 2000u);
+  EXPECT_LE(bounded.max_queue_depth, 8u);
+  EXPECT_LT(bounded.response_ms.percentile(99),
+            open.response_ms.percentile(99));
+  // Admitted queries see at most (depth) services of waiting: ~8 ms here.
+  EXPECT_LE(bounded.response_ms.max(), 8.0 + 1.0 + 1e-6);
+}
+
+TEST(ServiceSimAdmission, LightLoadNeverSheds) {
+  FixedEngine engine(1.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 10.0;
+  cfg.max_queue_depth = 2;
+  const auto res = service::run_service(engine, n_queries(500), cfg);
+  EXPECT_EQ(res.faults.shed_queries, 0u);
+  EXPECT_EQ(res.response_ms.count(), 500u);
+}
+
+TEST(ServiceSimAdmission, DepthOneAdmitsOnlyAnIdleServer) {
+  FixedEngine engine(1.0);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 2000.0;
+  cfg.max_queue_depth = 1;
+  const auto res = service::run_service(engine, n_queries(1000), cfg);
+  EXPECT_GT(res.faults.shed_queries, 0u);
+  // Every admitted query starts immediately: response == service exactly.
+  EXPECT_DOUBLE_EQ(res.response_ms.mean(), res.service_ms.mean());
+  EXPECT_DOUBLE_EQ(res.response_ms.max(), res.service_ms.max());
+  EXPECT_EQ(res.max_queue_depth, 1u);
+}
+
+TEST(ServiceSimAdmission, SheddingIsDeterministic) {
+  FixedEngine engine(1.5);
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 3000.0;
+  cfg.max_queue_depth = 4;
+  const auto a = service::run_service(engine, n_queries(800), cfg);
+  const auto b = service::run_service(engine, n_queries(800), cfg);
+  EXPECT_EQ(a.faults.shed_queries, b.faults.shed_queries);
+  EXPECT_DOUBLE_EQ(a.response_ms.mean(), b.response_ms.mean());
+}
