@@ -10,6 +10,7 @@
 //                          plan-step traces as <bench>.trace.jsonl there
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -275,6 +276,10 @@ inline Json step_json(const core::StepRecord& r) {
   Json j = Json::object();
   j["kind"] = step_kind_name(r.kind);
   j["placement"] = placement_name(r.placement);
+  // Attribution under multi-tenancy: which query charged this step, and the
+  // cross-query batch group it launched in (0 = unbatched).
+  j["query"] = r.query;
+  if (r.batch_group != 0) j["batch_group"] = r.batch_group;
   if (r.kind == core::StepKind::kDecode ||
       r.kind == core::StepKind::kIntersect ||
       r.kind == core::StepKind::kPrefetch) {
@@ -364,8 +369,20 @@ inline Json overlap_json(const core::OverlapCounters& o) {
   j["prefetch_issued"] = o.prefetch_issued;
   j["prefetch_used"] = o.prefetch_used;
   j["prefetch_dropped"] = o.prefetch_dropped;
+  j["cpu_busy_us"] = o.cpu_busy.us();
+  j["gpu_busy_us"] = o.gpu_busy.us();
   j["h2d_busy_us"] = o.h2d_busy.us();
   j["d2h_busy_us"] = o.d2h_busy.us();
+  return j;
+}
+
+/// Per-resource busy fractions (sim::Resource order) as a JSON object.
+inline Json resource_utilization_json(
+    const std::array<double, sim::kNumResources>& u) {
+  Json j = Json::object();
+  for (std::size_t r = 0; r < sim::kNumResources; ++r) {
+    j[sim::resource_name(static_cast<sim::Resource>(r))] = u[r];
+  }
   return j;
 }
 

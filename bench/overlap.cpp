@@ -163,6 +163,17 @@ int main() {
                   static_cast<unsigned long long>(overlap.prefetch_used),
                   static_cast<unsigned long long>(overlap.prefetch_dropped));
 
+      // Per-resource busy fractions over the run's summed critical path:
+      // the single-tenant baseline the multi_tenant bench compares against.
+      std::array<double, sim::kNumResources> util{};
+      if (critical_ms > 0.0) {
+        for (std::size_t r = 0; r < sim::kNumResources; ++r) {
+          util[r] =
+              overlap.busy(static_cast<sim::Resource>(r)).ms() /
+              (critical_ms * n);
+        }
+      }
+
       bench::Json row = bench::Json::object();
       row["prefetch"] = prefetch;
       row["double_buffer"] = dbuf;
@@ -170,6 +181,7 @@ int main() {
       row["critical_ms"] = critical_ms;
       row["saved_ms"] = serial_ms - critical_ms;
       row["h2d_utilization"] = h2d_util;
+      row["resource_utilization"] = bench::resource_utilization_json(util);
       row["overlap"] = bench::overlap_json(overlap);
       configs.push_back(std::move(row));
     }

@@ -31,13 +31,29 @@ int main() {
 
   // One execution pass per engine; the load sweep reuses the times.
   std::fprintf(stderr, "[service_load] measuring service times...\n");
-  const auto cpu_times = service::measure_service_times(cpu_engine, log);
+  core::OverlapCounters cpu_overlap;
+  const auto cpu_times = service::measure_service_times(
+      cpu_engine, log, nullptr, nullptr, &cpu_overlap);
   core::OverlapCounters grif_overlap;
   const auto grif_times = service::measure_service_times(
       griffin, log, nullptr, nullptr, &grif_overlap);
 
-  std::printf("%-10s %-9s %12s %12s %12s %12s\n", "load(qps)", "engine",
-              "util", "p50 resp", "p95 resp", "p99 resp");
+  // Per-resource busy fraction of a run: the engines' summed timeline busy
+  // over the FCFS makespan at this load (the same rule the engine-executing
+  // run_service overload applies).
+  const auto fractions = [](const core::OverlapCounters& o,
+                            sim::Duration horizon) {
+    std::array<double, sim::kNumResources> u{};
+    if (horizon.ps() > 0) {
+      for (std::size_t r = 0; r < sim::kNumResources; ++r) {
+        u[r] = o.busy(static_cast<sim::Resource>(r)) / horizon;
+      }
+    }
+    return u;
+  };
+
+  std::printf("%-10s %-9s %12s %12s %12s %12s %8s\n", "load(qps)", "engine",
+              "util", "p50 resp", "p95 resp", "p99 resp", "h2d");
   bench::Json rows = bench::Json::array();
   for (const double qps : {50.0, 100.0, 200.0, 400.0}) {
     service::ServiceConfig scfg;
@@ -46,19 +62,25 @@ int main() {
         std::span<const sim::Duration>(cpu_times), scfg);
     const auto rg = service::run_service(
         std::span<const sim::Duration>(grif_times), scfg);
-    std::printf("%-10.0f %-9s %11.0f%% %11.2f %11.2f %11.2f\n", qps, "cpu",
-                100.0 * rc.utilization, rc.response_ms.percentile(50),
-                rc.response_ms.percentile(95), rc.response_ms.percentile(99));
-    std::printf("%-10.0f %-9s %11.0f%% %11.2f %11.2f %11.2f\n", qps,
+    const auto uc = fractions(cpu_overlap, rc.horizon);
+    const auto ug = fractions(grif_overlap, rg.horizon);
+    std::printf("%-10.0f %-9s %11.0f%% %11.2f %11.2f %11.2f %7.1f%%\n", qps,
+                "cpu", 100.0 * rc.utilization, rc.response_ms.percentile(50),
+                rc.response_ms.percentile(95), rc.response_ms.percentile(99),
+                100.0 * uc[std::size_t(sim::Resource::kCopyH2D)]);
+    std::printf("%-10.0f %-9s %11.0f%% %11.2f %11.2f %11.2f %7.1f%%\n", qps,
                 "griffin", 100.0 * rg.utilization,
                 rg.response_ms.percentile(50), rg.response_ms.percentile(95),
-                rg.response_ms.percentile(99));
+                rg.response_ms.percentile(99),
+                100.0 * ug[std::size_t(sim::Resource::kCopyH2D)]);
     bench::Json row = bench::Json::object();
     row["qps"] = qps;
     row["cpu_utilization"] = rc.utilization;
     row["griffin_utilization"] = rg.utilization;
     row["cpu_response"] = bench::latency_json(rc.response_ms);
     row["griffin_response"] = bench::latency_json(rg.response_ms);
+    row["cpu_resource_utilization"] = bench::resource_utilization_json(uc);
+    row["griffin_resource_utilization"] = bench::resource_utilization_json(ug);
     row["cpu_max_queue_depth"] = rc.max_queue_depth;
     row["griffin_max_queue_depth"] = rg.max_queue_depth;
     rows.push_back(std::move(row));

@@ -92,6 +92,12 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
   service::PoissonArrivals arrivals(cfg_.arrival_qps, cfg_.seed);
   ResultCache cache(cfg_.cache_capacity, cfg_.cache_budget_bytes);
   HedgeController hedge(cfg_.hedge);
+  // Per-primary-replica occupancy trackers for the bottleneck-occupancy
+  // trigger (DESIGN.md §12): fed from every shard execution's per-resource
+  // busy durations, consulted before the percentile delay would even start.
+  std::vector<ReplicaOccupancy> occupancy(
+      nodes_.size(),
+      ReplicaOccupancy(cfg_.hedge.window, cfg_.hedge.min_samples));
   std::vector<service::QueueDepthTracker> depth(nodes_.size());
   // Per-run replica queues (replica 0 = primary): runs are independent and
   // a broker can replay any number of streams back to back. Breakers are
@@ -150,6 +156,16 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
       res.engine_overlap += part.metrics.overlap;
       res.faults += part.metrics.faults;
       const sim::Duration svc = part.metrics.total;
+      if (can_hedge &&
+          cfg_.hedge.trigger == HedgeTrigger::kBottleneckOccupancy) {
+        ReplicaOccupancy::Sample sample;
+        for (std::size_t rr = 0; rr < sim::kNumResources; ++rr) {
+          sample.busy[rr] =
+              part.metrics.overlap.busy(static_cast<sim::Resource>(rr));
+        }
+        sample.span = svc;
+        occupancy[s].record(sample);
+      }
 
       sim::Duration t_now = t_shard;
       bool answered = false;
@@ -187,20 +203,32 @@ ClusterResult ClusterBroker::run(const std::vector<core::Query>& queries) {
         if (r == 0) depth[s].observe(t_now, c.done);
         responded = c.done;
 
-        // Hedge: the broker's timer fires delay after the primary submit;
-        // if the primary still owes a reply, a live replica gets a copy.
-        if (can_hedge && r == 0) {
-          if (const auto delay = hedge.delay();
-              delay && c.done > t_now + *delay) {
-            const sim::Duration t_hedge = t_now + *delay;
-            if (breakers[s][1].allow(t_hedge) &&
-                !injector_.replica_down(s, 1, t_hedge)) {
-              const service::Completion hedged =
-                  servers[s][1].submit(t_hedge, svc);
-              ++res.hedge.issued;
-              if (hedged.done < c.done) ++res.hedge.won;
-              responded = sim::min(responded, hedged.done);
-            }
+        // Hedge. Latency-percentile trigger: the broker's timer fires
+        // delay after the primary submit; if the primary still owes a
+        // reply, a live replica gets a copy. Bottleneck-occupancy trigger:
+        // the primary's windowed bottleneck-resource busy fraction is at
+        // threshold, so the copy is issued at submit time — the cause
+        // (saturation) is visible before the symptom (lag) develops.
+        if (can_hedge && r == 0 && cfg_.hedge.enabled) {
+          bool fire = false;
+          sim::Duration t_hedge = t_now;
+          if (cfg_.hedge.trigger == HedgeTrigger::kBottleneckOccupancy) {
+            const auto b = occupancy[s].bottleneck();
+            fire = b.has_value() &&
+                   *b >= cfg_.hedge.occupancy_threshold &&
+                   c.done > t_now;
+          } else if (const auto delay = hedge.delay();
+                     delay && c.done > t_now + *delay) {
+            fire = true;
+            t_hedge = t_now + *delay;
+          }
+          if (fire && breakers[s][1].allow(t_hedge) &&
+              !injector_.replica_down(s, 1, t_hedge)) {
+            const service::Completion hedged =
+                servers[s][1].submit(t_hedge, svc);
+            ++res.hedge.issued;
+            if (hedged.done < c.done) ++res.hedge.won;
+            responded = sim::min(responded, hedged.done);
           }
         }
 

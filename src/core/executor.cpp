@@ -7,23 +7,51 @@ namespace griffin::core {
 void StepExecutor::begin_query(const Query& q) {
   host_current_.clear();
   loc_.reset();
-  tl_.reset();
-  cpu_stream_ = tl_.stream();
-  frontier_ = sim::Timeline::Event{};
+  if (tl_ == &own_tl_) {
+    // Private timeline: the query owns the device, wipe and restart.
+    tl_->reset();
+    scope_ = 0;
+  } else {
+    // Shared timeline: the device keeps running; this query gets its own
+    // accounting scope and streams opened at its admission time.
+    scope_ = tl_->scope();
+  }
+  tl_->set_scope(scope_);
+  cpu_stream_ = tl_->stream(release_);
+  frontier_ = sim::Timeline::Event{release_};
   query_id_ = q.id;
   step_index_ = 0;
-  if (gpu_ != nullptr) gpu_->begin_query(&tl_, q.id);
+  batch_group_ = 0;
+  if (gpu_ != nullptr) gpu_->begin_query(tl_, q.id, release_);
 }
 
 void StepExecutor::finish_query(QueryMetrics& m) {
+  tl_->set_scope(scope_);
   if (gpu_ != nullptr) gpu_->finish_query(m);  // drops prefetches, buffers
-  // The serial charges and the timeline ops are the same set of durations:
-  // any divergence means a charge bypassed the timeline.
-  assert(tl_.serial_total() == m.total);
-  m.overlap.saved = tl_.serial_total() - tl_.critical_path();
-  m.total = tl_.critical_path();
-  m.overlap.h2d_busy = tl_.busy(sim::Resource::kCopyH2D);
-  m.overlap.d2h_busy = tl_.busy(sim::Resource::kCopyD2H);
+  // The serial charges and the scope's timeline ops are the same set of
+  // durations: any divergence means a charge bypassed the timeline.
+  const auto& sc = tl_->scope_stats(scope_);
+  assert(sc.serial == m.total);
+  // The query's latency is its span on the (possibly shared) timeline:
+  // from its admission to its last op's completion. On a private timeline
+  // release is zero and this is exactly the critical path. Under
+  // contention the span can exceed the serial sum — queueing behind other
+  // tenants' ops — so overlap.saved may be negative there.
+  const sim::Duration span = sim::max(sc.finish, release_) - release_;
+  m.overlap.saved = sc.serial - span;
+  m.total = span;
+  m.overlap.cpu_busy = sc.busy[static_cast<std::size_t>(sim::Resource::kCpu)];
+  m.overlap.gpu_busy =
+      sc.busy[static_cast<std::size_t>(sim::Resource::kGpuCompute)];
+  m.overlap.h2d_busy =
+      sc.busy[static_cast<std::size_t>(sim::Resource::kCopyH2D)];
+  m.overlap.d2h_busy =
+      sc.busy[static_cast<std::size_t>(sim::Resource::kCopyD2H)];
+}
+
+void StepExecutor::set_batch(std::uint32_t size, std::uint64_t group) {
+  batch_group_ = size > 1 ? group : 0;
+  if (gpu_ != nullptr) gpu_->set_batch(size);
 }
 
 std::uint64_t StepExecutor::intermediate_count() const {
@@ -99,6 +127,7 @@ void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
   QueryMetrics& m = res.metrics;
   StepRecord rec;
   rec.faulted = true;
+  rec.query = query_id_;
   rec.placement = Placement::kGpu;
   rec.resource = sim::Resource::kGpuCompute;
 
@@ -121,7 +150,7 @@ void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
     if (i.first_pair) terms[num_terms++] = i.probe_term;
   }
 
-  const std::size_t ops0 = tl_.num_ops();
+  const std::size_t ops0 = tl_->num_ops();
   const sim::Duration waste =
       sim::Duration::from_us(injector_->config().gpu_fault_cost_us);
   gpu_->set_chain(frontier_);
@@ -138,19 +167,22 @@ void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
     rec.intersect = waste;
   }
   rec.output_count = intermediate_count();
-  if (tl_.num_ops() > ops0) {
-    rec.issue = tl_.ops()[ops0].issue;
-    rec.start = tl_.ops()[ops0].start;
-    rec.end = tl_.ops()[ops0].end;
+  if (tl_->num_ops() > ops0) {
+    rec.issue = tl_->ops()[ops0].issue;
+    rec.start = tl_->ops()[ops0].start;
+    rec.end = tl_->ops()[ops0].end;
   } else {
     rec.issue = rec.start = rec.end = frontier_.at;
   }
-  assert(tl_.serial_total() == m.total);
+  assert(tl_->scope_stats(scope_).serial == m.total);
   res.trace.push_back(rec);
 }
 
 bool StepExecutor::run(const PlanStep& step, const Query& q,
                        QueryResult& res) {
+  // Co-tenant executors share one timeline; re-select this query's scope
+  // so the step's ops are charged to it.
+  tl_->set_scope(scope_);
   // Pre-dispatch fault check for GPU compute steps (DESIGN.md §11): the
   // fault fires before the step's kernels consume the intermediate, so the
   // device state from the last committed step stays intact and the CPU
@@ -171,13 +203,15 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
   }
   const QueryMetrics& m = res.metrics;
   StepRecord rec;
+  rec.query = query_id_;
+  rec.batch_group = batch_group_;
   const sim::Duration total0 = m.total;
   const sim::Duration decode0 = m.decode;
   const sim::Duration intersect0 = m.intersect;
   const sim::Duration transfer0 = m.transfer;
   const sim::Duration rank0 = m.rank;
   const std::uint64_t kernels0 = m.gpu_kernels;
-  const std::size_t ops0 = tl_.num_ops();
+  const std::size_t ops0 = tl_->num_ops();
 
   // GPU-dispatched steps record their own timeline ops (ledgers + kernels)
   // chained off the plan frontier; everything else becomes one CPU op.
@@ -239,15 +273,16 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
     // for them — later steps don't wait on a prefetch unless they use it.
     frontier_ = gpu_->chain();
   } else {
-    frontier_ = tl_.record(cpu_stream_, sim::Resource::kCpu, rec.duration,
-                           frontier_);
+    frontier_ = tl_->record(cpu_stream_, sim::Resource::kCpu, rec.duration,
+                            frontier_);
   }
 
   // Timeline placement of the whole step: first issue to last completion
   // over the ops it recorded (a zero-op step pins all three to the
-  // frontier).
-  if (tl_.num_ops() > ops0) {
-    const auto& ops = tl_.ops();
+  // frontier). Co-tenant steps never interleave at op granularity — the
+  // DeviceManager steps one lane at a time — so [ops0, end) is this step.
+  if (tl_->num_ops() > ops0) {
+    const auto& ops = tl_->ops();
     rec.issue = ops[ops0].issue;
     rec.start = ops[ops0].start;
     rec.end = ops[ops0].end;
@@ -260,7 +295,7 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
     rec.issue = rec.start = rec.end = frontier_.at;
   }
   // Every serial charge must have been mirrored as a timeline op.
-  assert(tl_.serial_total() == m.total);
+  assert(tl_->scope_stats(scope_).serial == m.total);
   res.trace.push_back(rec);
   ++step_index_;
   return true;

@@ -47,9 +47,22 @@ class StepExecutor : public ResidencyProbe {
     if (gpu_ != nullptr) gpu_->set_fault_injector(injector, fault_scope);
   }
 
+  /// Binds this executor to a shared multi-tenant timeline (DESIGN.md §12).
+  /// The next begin_query() opens its streams at `release` (the admission
+  /// time) inside a fresh accounting scope instead of resetting a private
+  /// timeline, so ops from co-admitted queries contend for the same
+  /// per-resource busy clocks. Call before every begin_query() while
+  /// shared; pass nullptr to return to private single-tenant mode.
+  void bind_shared(sim::Timeline* tl, sim::Duration release = {}) {
+    tl_ = tl != nullptr ? tl : &own_tl_;
+    release_ = tl != nullptr ? release : sim::Duration();
+  }
+
   /// Resets per-query state (host intermediate, device buffers) and the
   /// timeline (DESIGN.md §10): one CPU stream here, one copy + one compute
-  /// stream inside the GpuExecutor. The query keys fault coordinates.
+  /// stream inside the GpuExecutor. On a shared timeline the streams open
+  /// at the bound release time and the timeline itself is left intact.
+  /// The query keys fault coordinates.
   void begin_query(const Query& q);
 
   /// Executes one step: charges res.metrics through the backend, mirrors
@@ -83,7 +96,18 @@ class StepExecutor : public ResidencyProbe {
     return gpu_ != nullptr && gpu_->prefetched(t);
   }
 
-  const sim::Timeline& timeline() const { return tl_; }
+  const sim::Timeline& timeline() const { return *tl_; }
+
+  /// The plan frontier's completion time: when this query's latest step
+  /// finishes on the shared timeline. The tenancy DeviceManager steps the
+  /// lane whose frontier is earliest (min-frontier interleave).
+  sim::Timeline::Event frontier() const { return frontier_; }
+
+  /// Marks the next decode/intersect step as a member of a cross-query
+  /// kernel batch of `size` queries (tenancy BatchComposer). Forwarded to
+  /// the GpuExecutor's launch-overhead/warp-fill model; `group` tags the
+  /// StepRecord. size <= 1 restores unbatched accounting.
+  void set_batch(std::uint32_t size, std::uint64_t group);
 
  private:
   void dispatch(const PlanStep& step, const Query& q, QueryResult& res);
@@ -101,7 +125,13 @@ class StepExecutor : public ResidencyProbe {
   std::uint64_t step_index_ = 0;  ///< fault coordinate of the next step
   std::vector<codec::DocId> host_current_;  ///< valid when loc_ == kCpu
   std::optional<Placement> loc_;
-  sim::Timeline tl_;
+  /// Private single-tenant timeline; tl_ points here unless bind_shared()
+  /// redirected it to a DeviceManager-owned shared timeline.
+  sim::Timeline own_tl_;
+  sim::Timeline* tl_ = &own_tl_;
+  sim::Duration release_;              ///< stream open time (shared mode)
+  sim::Timeline::ScopeId scope_ = 0;   ///< this query's accounting scope
+  std::uint64_t batch_group_ = 0;      ///< current batch tag for records
   sim::Timeline::StreamId cpu_stream_ = 0;
   /// The plan frontier: completion of the latest step every later dependent
   /// op must wait on. GPU steps advance it through the GpuExecutor's chain;

@@ -69,6 +69,14 @@ struct StepShape {
 /// exactly — every charge in the system happens inside some step.
 struct StepRecord {
   StepKind kind = StepKind::kDecode;
+  /// The query this step belongs to (Query::id). Under multi-tenancy the
+  /// trace JSONL interleaves co-admitted queries; this keeps rows
+  /// attributable.
+  std::uint64_t query = 0;
+  /// Cross-query kernel batch this step was coalesced into (tenancy
+  /// BatchComposer). 0 = unbatched; equal non-zero ids mark steps whose
+  /// kernels launched together and shared the launch overhead.
+  std::uint64_t batch_group = 0;
   /// Decode/intersect: the processor that ran the step. Transfer: the
   /// destination. Rank: kCpu.
   Placement placement = Placement::kCpu;
@@ -117,12 +125,14 @@ struct TraceSummary {
   std::uint64_t gpu_intersects = 0;  ///< intersect steps placed on the GPU
   std::uint64_t migrations = 0;      ///< transfer steps that were migrations
   std::uint64_t faulted_steps = 0;   ///< steps abandoned by injected faults
+  std::uint64_t batched_steps = 0;   ///< steps coalesced into a cross-query batch
   /// Summed StepRecord::duration — the *serial* stage time, i.e. per query
   /// QueryMetrics::total (critical path) + overlap.saved.
   sim::Duration step_time;
 
   void add(const StepRecord& r) {
     ++steps;
+    if (r.batch_group != 0) ++batched_steps;
     if (r.faulted) {
       // An abandoned step's wasted time is real, but it did no stage work —
       // counting it as a gpu_intersect would misstate the processor split.
@@ -159,6 +169,7 @@ struct TraceSummary {
     gpu_intersects += o.gpu_intersects;
     migrations += o.migrations;
     faulted_steps += o.faulted_steps;
+    batched_steps += o.batched_steps;
     step_time += o.step_time;
     return *this;
   }
@@ -212,14 +223,29 @@ struct OverlapCounters {
   std::uint64_t prefetch_used = 0;     ///< consumed by a later GPU step
   std::uint64_t prefetch_dropped = 0;  ///< discarded (migration / query end)
   sim::Duration saved;                 ///< serial stage sum - critical path
+  sim::Duration cpu_busy;              ///< host-core busy time
+  sim::Duration gpu_busy;              ///< kernel-pipeline busy time
   sim::Duration h2d_busy;              ///< H2D copy-engine busy time
   sim::Duration d2h_busy;              ///< D2H copy-engine busy time
+
+  /// Busy time of one resource, mapped from the timeline's resource enum.
+  sim::Duration busy(sim::Resource r) const {
+    switch (r) {
+      case sim::Resource::kCpu: return cpu_busy;
+      case sim::Resource::kGpuCompute: return gpu_busy;
+      case sim::Resource::kCopyH2D: return h2d_busy;
+      case sim::Resource::kCopyD2H: return d2h_busy;
+    }
+    return {};
+  }
 
   OverlapCounters& operator+=(const OverlapCounters& o) {
     prefetch_issued += o.prefetch_issued;
     prefetch_used += o.prefetch_used;
     prefetch_dropped += o.prefetch_dropped;
     saved += o.saved;
+    cpu_busy += o.cpu_busy;
+    gpu_busy += o.gpu_busy;
     h2d_busy += o.h2d_busy;
     d2h_busy += o.d2h_busy;
     return *this;

@@ -32,17 +32,19 @@ GpuExecutor::GpuExecutor(const index::InvertedIndex& idx, sim::HardwareSpec hw,
          "Griffin-GPU decodes with Para-EF; build the index with EF");
 }
 
-void GpuExecutor::begin_query(sim::Timeline* tl, std::uint64_t query_id) {
+void GpuExecutor::begin_query(sim::Timeline* tl, std::uint64_t query_id,
+                              sim::Duration release) {
   current_ = simt::DeviceBuffer<DocId>();
   current_count_ = kNoIntermediate;
   prefetch_.clear();
   tl_ = tl;
-  chain_ = sim::Timeline::Event{};
+  chain_ = sim::Timeline::Event{release};
   fault_query_ = query_id;
   transfer_seq_ = 0;
+  batch_size_ = 1;
   if (tl_ != nullptr) {
-    copy_stream_ = tl_->stream();
-    compute_stream_ = tl_->stream();
+    copy_stream_ = tl_->stream(release);
+    compute_stream_ = tl_->stream(release);
   }
 }
 
@@ -56,7 +58,27 @@ void GpuExecutor::finish_query(core::QueryMetrics& m) {
 
 void GpuExecutor::charge_kernel(const sim::KernelStats& s, sim::Duration* stage,
                                 core::QueryMetrics& m, std::uint32_t kernels) {
-  const sim::Duration d = cost_.kernel_time(s);
+  sim::Duration d = cost_.kernel_time(s);
+  if (batch_size_ > 1) {
+    // Cross-query kernel batching (DESIGN.md §12): this launch was fused
+    // with batch_size_ - 1 compatible launches from co-admitted queries.
+    // Each member pays 1/K of the shared launch overhead, and a kernel
+    // that underfills the device's resident-warp capacity recovers idle
+    // warp slots from its batch peers — its body time shrinks by its warp
+    // fill, floored at 1/K (K members can at best K-plex the device). A
+    // device-filling kernel gets no body bonus; the launch amortization
+    // stands. Guarded by batch_size_ > 1 so unbatched accounting is
+    // bit-identical to the single-tenant engines.
+    const sim::Duration overhead =
+        sim::Duration::from_us(hw_.gpu.kernel_launch_us);
+    const sim::Duration body = sim::max(d - overhead, sim::Duration());
+    const double resident = static_cast<double>(hw_.gpu.sm_count) *
+                            static_cast<double>(hw_.gpu.max_resident_warps_per_sm);
+    const double fill =
+        std::min(1.0, static_cast<double>(s.warps) / resident);
+    const double share = 1.0 / static_cast<double>(batch_size_);
+    d = overhead * share + body * std::max(fill, share);
+  }
   m.add_stage(d, stage);
   m.gpu_kernels += kernels;
   if (tl_ != nullptr) {

@@ -63,8 +63,17 @@ class GpuExecutor {
   /// its own), the executor opens one copy stream and one compute stream on
   /// it and records every charge as a timeline op (DESIGN.md §10); without
   /// one, charging is purely serial as before. `query_id` keys fault
-  /// coordinates when an injector is set (ignored otherwise).
-  void begin_query(sim::Timeline* tl = nullptr, std::uint64_t query_id = 0);
+  /// coordinates when an injector is set (ignored otherwise). On a shared
+  /// multi-tenant timeline, `release` is the query's admission time: the
+  /// streams open there and the initial chain waits it out.
+  void begin_query(sim::Timeline* tl = nullptr, std::uint64_t query_id = 0,
+                   sim::Duration release = {});
+
+  /// Cross-query kernel batching (DESIGN.md §12): subsequent kernel charges
+  /// model a launch fused with `size - 1` co-admitted queries' kernels —
+  /// shared launch overhead split K ways, body time scaled by warp fill
+  /// (floored at 1/K). size <= 1 restores exact unbatched accounting.
+  void set_batch(std::uint32_t size) { batch_size_ = size == 0 ? 1 : size; }
 
   /// Arms fault injection (DESIGN.md §11): PCIe transfer errors are drawn
   /// per DMA inside every ledger this executor binds, and fault_reset()
@@ -218,6 +227,7 @@ class GpuExecutor {
   std::map<index::TermId, Prefetched> prefetch_;
 
   sim::Timeline* tl_ = nullptr;  ///< bound per query by begin_query
+  std::uint32_t batch_size_ = 1;  ///< current cross-query batch width
   sim::Timeline::StreamId copy_stream_ = 0;
   sim::Timeline::StreamId compute_stream_ = 0;
   sim::Timeline::Event chain_;  ///< current plan-frontier event

@@ -54,6 +54,7 @@ ServiceResult run_service(std::span<const sim::Duration> service_times,
   }
 
   res.utilization = server.utilization(server.free_at());
+  res.horizon = server.free_at();
   res.max_queue_depth = depth.max_depth();
   return res;
 }
@@ -72,6 +73,52 @@ ServiceResult run_service(core::Engine& engine,
   res.trace = trace;
   res.engine_overlap = overlap;
   res.faults += faults;
+  // Per-resource busy fractions over the FCFS makespan: the summed
+  // per-query timeline busy divided by when the server finally freed.
+  // Sequential service never overlaps queries, so these are honest busy
+  // fractions of the whole run — the single-tenant baseline the
+  // multi-tenant overload is compared against.
+  if (res.horizon.ps() > 0) {
+    for (std::size_t r = 0; r < sim::kNumResources; ++r) {
+      res.resource_utilization[r] =
+          overlap.busy(static_cast<sim::Resource>(r)) / res.horizon;
+    }
+  }
+  return res;
+}
+
+ServiceResult run_service(tenancy::DeviceManager& device,
+                          const std::vector<core::Query>& queries,
+                          const ServiceConfig& cfg) {
+  ServiceResult res;
+  PoissonArrivals arrivals(cfg.arrival_qps, cfg.seed);
+  std::vector<tenancy::TenantQuery> load;
+  load.reserve(queries.size());
+  for (const auto& q : queries) {
+    load.push_back({q, arrivals.next()});
+  }
+
+  const auto outcomes = device.run(load, cfg.max_queue_depth);
+  QueueDepthTracker depth;
+  for (const auto& out : outcomes) {
+    if (out.shed) {
+      ++res.faults.shed_queries;
+      continue;
+    }
+    res.service_ms.add(out.result.metrics.total.ms());
+    res.response_ms.add((out.finish - out.arrival).ms());
+    depth.observe(out.arrival, out.finish);
+    res.engine_cache += out.result.metrics.cache;
+    res.trace.add(out.result.trace);
+    res.engine_overlap += out.result.metrics.overlap;
+    res.faults += out.result.metrics.faults;
+  }
+  res.resource_utilization = device.busy_fractions();
+  res.horizon = device.timeline().critical_path();
+  for (const double f : res.resource_utilization) {
+    res.utilization = std::max(res.utilization, f);
+  }
+  res.max_queue_depth = depth.max_depth();
   return res;
 }
 

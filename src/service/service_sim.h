@@ -11,11 +11,13 @@
 // the classic head-of-line effect this bench quantifies.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/query.h"
+#include "tenancy/device_manager.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -37,7 +39,18 @@ struct ServiceConfig {
 struct ServiceResult {
   util::PercentileTracker response_ms;  ///< queueing + service
   util::PercentileTracker service_ms;   ///< engine latency alone
-  double utilization = 0.0;             ///< busy fraction of the server
+  /// Busy fraction of the server as a whole: the FCFS server's busy/span
+  /// in the single-server overloads, the bottleneck resource's fraction in
+  /// the multi-tenant overload.
+  double utilization = 0.0;
+  /// Per-resource busy fractions (indexed by sim::Resource) of the run's
+  /// span: from summed per-query timeline busy in the engine overload,
+  /// from the shared timeline in the multi-tenant overload. Zero in the
+  /// precomputed-service-times overload, which has no resource data.
+  std::array<double, sim::kNumResources> resource_utilization{};
+  /// The run's makespan: when the server (or shared device) finally went
+  /// idle. The denominator of the utilization fractions.
+  sim::Duration horizon;
   std::uint64_t max_queue_depth = 0;
   /// Engine cache-tier counters summed over the run (only filled by the
   /// engine-executing overload of run_service; zero otherwise).
@@ -61,6 +74,17 @@ ServiceResult run_service(std::span<const sim::Duration> service_times,
 
 /// Convenience: executes each query once through `engine`, then simulates.
 ServiceResult run_service(core::Engine& engine,
+                          const std::vector<core::Query>& queries,
+                          const ServiceConfig& cfg);
+
+/// Multi-tenant service simulation (DESIGN.md §12): queries arrive Poisson
+/// and run concurrently through the DeviceManager's shared timeline — a
+/// query completes when its critical path through the *shared* device
+/// finishes, so queueing, contention, and cross-query batching all shape
+/// the response distribution. `cfg.max_queue_depth` sheds at arrival as in
+/// the FCFS overloads. resource_utilization comes from the shared
+/// timeline's busy clocks; `utilization` is the bottleneck resource's.
+ServiceResult run_service(tenancy::DeviceManager& device,
                           const std::vector<core::Query>& queries,
                           const ServiceConfig& cfg);
 

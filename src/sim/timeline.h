@@ -51,6 +51,7 @@ inline const char* resource_name(Resource r) {
 class Timeline {
  public:
   using StreamId = std::uint32_t;
+  using ScopeId = std::uint32_t;
 
   /// A completion timestamp another op can wait on (cudaEvent analogue).
   /// The default event is "the beginning of time": waiting on it is free.
@@ -64,16 +65,45 @@ class Timeline {
   /// its resource freed up, end = start + duration.
   struct Op {
     Resource resource = Resource::kCpu;
+    ScopeId scope = 0;
     Duration issue;
     Duration start;
     Duration end;
   };
 
-  /// Opens a new stream (tail at time zero).
-  StreamId stream() {
-    tails_.push_back(Duration());
+  /// Per-scope (per-query) accounting under multi-tenancy. A scope's serial
+  /// sum and per-resource busy time partition the global totals exactly:
+  /// sum over scopes == global, in integer picoseconds.
+  struct ScopeStats {
+    Duration serial;               ///< sum of op durations in this scope
+    Duration finish;               ///< max op end time in this scope
+    Duration busy[kNumResources];  ///< per-resource busy time in this scope
+    std::uint64_t ops = 0;
+  };
+
+  Timeline() { scopes_.emplace_back(); }
+
+  /// Opens a new stream whose tail starts at `open_at` (time zero by
+  /// default; a later release time for queries admitted mid-run).
+  StreamId stream(Duration open_at = {}) {
+    tails_.push_back(open_at);
     return static_cast<StreamId>(tails_.size() - 1);
   }
+
+  /// Allocates a new accounting scope (one per co-admitted query). Scope 0
+  /// always exists and is active by default, so single-tenant callers never
+  /// see scopes at all.
+  ScopeId scope() {
+    scopes_.emplace_back();
+    return static_cast<ScopeId>(scopes_.size() - 1);
+  }
+
+  /// Selects the scope that subsequent record() calls charge against.
+  void set_scope(ScopeId s) {
+    assert(s < scopes_.size());
+    active_scope_ = s;
+  }
+  ScopeId active_scope() const { return active_scope_; }
 
   /// Records an op of `dur` on stream `s` and resource `r`, optionally
   /// waiting on `wait` (an Event from any stream). Returns the op's
@@ -83,6 +113,7 @@ class Timeline {
     auto& busy = busy_until_[static_cast<std::size_t>(r)];
     Op op;
     op.resource = r;
+    op.scope = active_scope_;
     op.issue = max(tails_[s], wait.at);
     op.start = max(op.issue, busy);
     op.end = op.start + dur;
@@ -91,11 +122,17 @@ class Timeline {
     busy_[static_cast<std::size_t>(r)] += dur;
     serial_ += dur;
     horizon_ = max(horizon_, op.end);
+    auto& sc = scopes_[active_scope_];
+    sc.serial += dur;
+    sc.finish = max(sc.finish, op.end);
+    sc.busy[static_cast<std::size_t>(r)] += dur;
+    ++sc.ops;
     ops_.push_back(op);
     return Event{op.end};
   }
 
-  /// When the last op finishes: the query's latency under overlap.
+  /// When the last op finishes: the query's latency under overlap (or, on a
+  /// shared timeline, the device-occupancy horizon across all tenants).
   Duration critical_path() const { return horizon_; }
   /// Sum of all op durations: the latency had nothing overlapped. Equals
   /// the engines' serial stage charges by construction.
@@ -104,12 +141,26 @@ class Timeline {
   Duration busy(Resource r) const {
     return busy_[static_cast<std::size_t>(r)];
   }
+  /// Fraction of the horizon one resource spent busy, in [0, 1]. Zero on an
+  /// empty timeline.
+  double busy_fraction(Resource r) const {
+    if (horizon_.ps() == 0) return 0.0;
+    return double(busy_[static_cast<std::size_t>(r)].ps()) /
+           double(horizon_.ps());
+  }
+
+  const ScopeStats& scope_stats(ScopeId s) const {
+    assert(s < scopes_.size());
+    return scopes_[s];
+  }
+  std::size_t num_scopes() const { return scopes_.size(); }
 
   const std::vector<Op>& ops() const { return ops_; }
   std::size_t num_ops() const { return ops_.size(); }
 
-  /// Drops all streams and ops (start of a new query). Outstanding
-  /// StreamIds and Events become invalid.
+  /// Drops all streams, scopes, and ops (start of a new query). Outstanding
+  /// StreamIds, ScopeIds, and Events become invalid; scope 0 is re-created
+  /// and active.
   void reset() {
     tails_.clear();
     ops_.clear();
@@ -117,6 +168,9 @@ class Timeline {
     for (auto& b : busy_) b = Duration();
     serial_ = Duration();
     horizon_ = Duration();
+    scopes_.clear();
+    scopes_.emplace_back();
+    active_scope_ = 0;
   }
 
  private:
@@ -126,6 +180,8 @@ class Timeline {
   Duration serial_;
   Duration horizon_;
   std::vector<Op> ops_;
+  std::vector<ScopeStats> scopes_;
+  ScopeId active_scope_ = 0;
 };
 
 }  // namespace griffin::sim

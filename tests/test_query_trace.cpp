@@ -56,6 +56,10 @@ void expect_stage_sums(const core::QueryResult& res, const std::string& label) {
     transfer += r.transfer;
     rank += r.rank;
     kernels += r.gpu_kernels;
+    // Single-tenant execution: every record is attributed to this query and
+    // nothing is batch-grouped (batch groups only exist under tenancy).
+    EXPECT_EQ(r.query, res.trace.front().query) << label;
+    EXPECT_EQ(r.batch_group, 0u) << label;
   }
   // Step durations are serial stage charges; m.total is the timeline's
   // critical path. The difference is exactly the overlap the async engines
@@ -96,6 +100,8 @@ void expect_identical_traces(const std::vector<core::StepRecord>& a,
     const auto& y = b[i];
     const std::string at = label + " step " + std::to_string(i);
     EXPECT_EQ(x.kind, y.kind) << at;
+    EXPECT_EQ(x.query, y.query) << at;
+    EXPECT_EQ(x.batch_group, y.batch_group) << at;
     EXPECT_EQ(x.placement, y.placement) << at;
     EXPECT_EQ(x.term, y.term) << at;
     EXPECT_EQ(x.shape.shorter, y.shape.shorter) << at;
@@ -148,7 +154,12 @@ TEST(QueryTrace, StepDurationsSumToStageTotals) {
   for (const auto& [name, engine] : engines) {
     for (std::size_t i = 0; i < log.size(); ++i) {
       const auto res = engine->execute(log[i]);
-      expect_stage_sums(res, std::string(name) + " q" + std::to_string(i));
+      const std::string label = std::string(name) + " q" + std::to_string(i);
+      expect_stage_sums(res, label);
+      // Attribution: every record carries the caller-assigned query id.
+      for (const auto& r : res.trace) {
+        EXPECT_EQ(r.query, log[i].id) << label;
+      }
     }
   }
 }

@@ -1,0 +1,299 @@
+// Multi-tenant device subsystem (DESIGN.md §12): golden parity with
+// sequential execution (tenancy and batching reshape timing, never bits),
+// per-query stage identities on the shared timeline, scope accounting that
+// partitions the global clocks exactly, cross-query batching, and the
+// occupancy-driven multi-tenant service loop.
+#include "tenancy/device_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/hybrid_engine.h"
+#include "engine_test_util.h"
+#include "service/service_sim.h"
+
+using namespace griffin;
+
+namespace {
+
+std::vector<core::Query> tenant_queries(std::size_t n, std::uint64_t seed) {
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = static_cast<std::uint32_t>(n);
+  qcfg.seed = seed;
+  return workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(testutil::large_index().num_terms()));
+}
+
+/// Offered load with a fixed inter-arrival gap small enough that several
+/// queries are always in flight on the large corpus (whose queries take
+/// milliseconds).
+std::vector<tenancy::TenantQuery> dense_load(
+    const std::vector<core::Query>& queries, double gap_us) {
+  std::vector<tenancy::TenantQuery> load;
+  load.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    load.push_back(
+        {queries[i], sim::Duration::from_us(gap_us * double(i))});
+  }
+  return load;
+}
+
+/// Bit-exact top-k comparison: doc ids equal and score *bits* equal — the
+/// contract is bit-identical results, not merely close ones.
+void expect_bit_identical_topk(const std::vector<core::ScoredDoc>& got,
+                               const std::vector<core::ScoredDoc>& want,
+                               std::size_t qi) {
+  ASSERT_EQ(got.size(), want.size()) << "query " << qi;
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    EXPECT_EQ(got[r].doc, want[r].doc) << "query " << qi << " rank " << r;
+    std::uint32_t gb = 0;
+    std::uint32_t wb = 0;
+    std::memcpy(&gb, &got[r].score, sizeof(gb));
+    std::memcpy(&wb, &want[r].score, sizeof(wb));
+    EXPECT_EQ(gb, wb) << "query " << qi << " rank " << r;
+  }
+}
+
+}  // namespace
+
+TEST(Tenancy, GoldenParityWithSequentialExecution) {
+  // The acceptance contract: multi-tenancy + batching on vs. off vs. the
+  // sequential hybrid engine — all three produce bit-identical top-k.
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(40, 21);
+  const auto load = dense_load(queries, 100.0);
+
+  core::HybridEngine seq(idx);
+  std::vector<core::QueryResult> want;
+  want.reserve(queries.size());
+  for (const auto& q : queries) want.push_back(seq.execute(q));
+
+  tenancy::TenancyOptions batched;
+  batched.max_concurrency = 4;
+  tenancy::DeviceManager dm_batched(idx, {}, batched);
+  const auto got_batched = dm_batched.run(load);
+
+  tenancy::TenancyOptions unbatched;
+  unbatched.max_concurrency = 4;
+  unbatched.batch.enabled = false;
+  tenancy::DeviceManager dm_plain(idx, {}, unbatched);
+  const auto got_plain = dm_plain.run(load);
+
+  ASSERT_EQ(got_batched.size(), queries.size());
+  ASSERT_EQ(got_plain.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_bit_identical_topk(got_batched[i].result.topk, want[i].topk, i);
+    expect_bit_identical_topk(got_plain[i].result.topk, want[i].topk, i);
+    EXPECT_EQ(got_batched[i].result.metrics.result_count,
+              want[i].metrics.result_count);
+  }
+}
+
+TEST(Tenancy, SingleLaneMatchesSequentialTimingExactly) {
+  // max_concurrency = 1 on the shared timeline IS the sequential device:
+  // the same warm caches in the same order, streams merely offset by the
+  // release time. Every per-query latency must match the persistent
+  // sequential engine to the picosecond.
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(25, 33);
+
+  core::HybridEngine seq(idx);
+  std::vector<sim::Duration> want;
+  for (const auto& q : queries) want.push_back(seq.execute(q).metrics.total);
+
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 1;
+  tenancy::DeviceManager dm(idx, {}, opt);
+  const auto got = dm.run(dense_load(queries, 50.0));
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(got[i].result.metrics.total.ps(), want[i].ps()) << "query " << i;
+  }
+}
+
+TEST(Tenancy, StageIdentityHoldsPerQueryOnTheSharedTimeline) {
+  // decode + intersect + transfer + rank == total + overlap.saved, exactly,
+  // for every co-admitted query — with `saved` free to go negative when a
+  // query queued behind its co-tenants' ops.
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(30, 5);
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 6;
+  tenancy::DeviceManager dm(idx, {}, opt);
+  const auto results = dm.run(dense_load(queries, 20.0));
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i].result.metrics;
+    const sim::Duration stages = m.decode + m.intersect + m.transfer + m.rank;
+    EXPECT_EQ(stages.ps(), (m.total + m.overlap.saved).ps()) << "query " << i;
+    EXPECT_EQ(results[i].finish.ps(),
+              (results[i].release + m.total).ps()) << "query " << i;
+    EXPECT_GE(results[i].release.ps(), results[i].arrival.ps());
+  }
+}
+
+TEST(Tenancy, ScopeAccountingPartitionsTheSharedClocks) {
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(24, 11);
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 4;
+  tenancy::DeviceManager dm(idx, {}, opt);
+  const auto results = dm.run(dense_load(queries, 40.0));
+  const auto& tl = dm.timeline();
+
+  // Per-query busy durations sum to the global per-resource busy, and no
+  // resource is busy longer than the horizon.
+  core::OverlapCounters sum;
+  for (const auto& r : results) sum += r.result.metrics.overlap;
+  for (std::size_t r = 0; r < sim::kNumResources; ++r) {
+    const auto res = static_cast<sim::Resource>(r);
+    EXPECT_EQ(sum.busy(res).ps(), tl.busy(res).ps()) << sim::resource_name(res);
+    EXPECT_LE(tl.busy(res).ps(), tl.critical_path().ps());
+    EXPECT_GE(tl.busy_fraction(res), 0.0);
+    EXPECT_LE(tl.busy_fraction(res), 1.0);
+  }
+  EXPECT_LE(tl.critical_path().ps(), tl.serial_total().ps());
+}
+
+TEST(Tenancy, BatchingFiresAndIsAttributable) {
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(30, 9);
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 6;
+  opt.batch.window = sim::Duration::from_us(200.0);
+  tenancy::DeviceManager dm(idx, {}, opt);
+  const auto results = dm.run(dense_load(queries, 10.0));
+
+  EXPECT_GT(dm.batch_groups(), 0u);
+  core::TraceSummary summary;
+  std::uint64_t batched = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (const auto& rec : results[i].result.trace) {
+      // Every record is attributable to its query.
+      EXPECT_EQ(rec.query, queries[i].id);
+      if (rec.batch_group != 0) {
+        ++batched;
+        // Only GPU decode/intersect steps batch.
+        EXPECT_TRUE(rec.kind == core::StepKind::kDecode ||
+                    rec.kind == core::StepKind::kIntersect);
+        EXPECT_EQ(rec.placement, core::Placement::kGpu);
+      }
+    }
+    summary.add(results[i].result.trace);
+  }
+  EXPECT_GT(batched, 0u);
+  EXPECT_EQ(summary.batched_steps, batched);
+}
+
+TEST(Tenancy, ConcurrencyRaisesCopyEngineUtilizationAndThroughput) {
+  // The point of the subsystem: with co-admitted queries, one tenant's H2D
+  // rides under another's kernels — the copy engine's busy fraction rises
+  // and the same load drains sooner than on the sequential device.
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(30, 17);
+  const auto load = dense_load(queries, 10.0);
+
+  tenancy::TenancyOptions seq_opt;
+  seq_opt.max_concurrency = 1;
+  tenancy::DeviceManager seq(idx, {}, seq_opt);
+  seq.run(load);
+  const double seq_h2d =
+      seq.timeline().busy_fraction(sim::Resource::kCopyH2D);
+  const auto seq_span = seq.timeline().critical_path();
+
+  tenancy::TenancyOptions par_opt;
+  par_opt.max_concurrency = 6;
+  tenancy::DeviceManager par(idx, {}, par_opt);
+  par.run(load);
+  const double par_h2d =
+      par.timeline().busy_fraction(sim::Resource::kCopyH2D);
+  const auto par_span = par.timeline().critical_path();
+
+  EXPECT_GT(par_h2d, seq_h2d);
+  EXPECT_LT(par_span.ps(), seq_span.ps());
+}
+
+TEST(Tenancy, DeterministicAcrossRuns) {
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(20, 3);
+  const auto load = dense_load(queries, 25.0);
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 4;
+
+  tenancy::DeviceManager a(idx, {}, opt);
+  tenancy::DeviceManager b(idx, {}, opt);
+  const auto ra = a.run(load);
+  const auto rb = b.run(load);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].finish.ps(), rb[i].finish.ps());
+    EXPECT_EQ(ra[i].release.ps(), rb[i].release.ps());
+  }
+  EXPECT_EQ(a.timeline().critical_path().ps(),
+            b.timeline().critical_path().ps());
+  EXPECT_EQ(a.batch_groups(), b.batch_groups());
+}
+
+TEST(Tenancy, EmptyQueriesAndEmptyLoadAreWellDefined) {
+  const auto& idx = testutil::small_index();
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 2;
+  tenancy::DeviceManager dm(idx, {}, opt);
+
+  EXPECT_TRUE(dm.run({}).empty());
+
+  std::vector<tenancy::TenantQuery> load;
+  core::Query empty;  // no terms: finishes at admission, empty result
+  empty.id = 7;
+  load.push_back({empty, sim::Duration::from_us(1.0)});
+  core::Query real;
+  real.terms = {1, 2};
+  real.id = 8;
+  load.push_back({real, sim::Duration::from_us(2.0)});
+  const auto results = dm.run(load);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].result.topk.empty());
+  EXPECT_EQ(results[0].finish.ps(), results[0].release.ps());
+  EXPECT_FALSE(results[1].result.trace.empty());
+}
+
+TEST(TenancyService, MultiTenantServiceLoopRunsAndSheds) {
+  const auto& idx = testutil::small_index();
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 120;
+  qcfg.seed = 41;
+  const auto queries = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 4;
+  tenancy::DeviceManager dm(idx, {}, opt);
+
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 20000.0;
+  const auto open = service::run_service(dm, queries, cfg);
+  EXPECT_EQ(open.response_ms.count(), queries.size());
+  EXPECT_EQ(open.faults.shed_queries, 0u);
+  // Per-resource utilization is populated from the shared timeline; the
+  // scalar is the bottleneck's.
+  double top = 0.0;
+  for (const double f : open.resource_utilization) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    top = std::max(top, f);
+  }
+  EXPECT_DOUBLE_EQ(open.utilization, top);
+  EXPECT_GT(open.utilization, 0.0);
+  EXPECT_GT(open.horizon.ps(), 0);
+
+  cfg.max_queue_depth = 5;
+  const auto bounded = service::run_service(dm, queries, cfg);
+  EXPECT_EQ(bounded.response_ms.count() + bounded.faults.shed_queries,
+            queries.size());
+
+  // Determinism: same config, same numbers.
+  const auto again = service::run_service(dm, queries, cfg);
+  EXPECT_EQ(again.faults.shed_queries, bounded.faults.shed_queries);
+  EXPECT_DOUBLE_EQ(again.response_ms.mean(), bounded.response_ms.mean());
+}

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "util/rng.h"
+
 using namespace griffin;
 using sim::Duration;
 using sim::Resource;
@@ -116,6 +120,126 @@ TEST(Timeline, CriticalPathPlusSavedEqualsSerialExactly) {
   EXPECT_EQ((tl.critical_path() + saved).ps(), (d1 + d2 + d3).ps());
   EXPECT_EQ(tl.critical_path().ps(), (d1 + d2).ps());
   EXPECT_EQ(saved.ps(), d3.ps());
+}
+
+TEST(TimelineScopes, ScopeStatsPartitionGlobalTotals) {
+  // Two "queries" (scopes), each with its own streams, interleaved: the
+  // per-scope serial/busy stats must partition the global totals exactly.
+  Timeline tl;
+  const auto q1 = tl.active_scope();  // scope 0: pre-existing
+  const auto q2 = tl.scope();
+  const auto s1 = tl.stream();
+  const auto s2 = tl.stream(us(5));  // admitted later
+
+  tl.set_scope(q1);
+  tl.record(s1, Resource::kCopyH2D, us(10));
+  tl.set_scope(q2);
+  tl.record(s2, Resource::kCopyH2D, us(8));
+  tl.set_scope(q1);
+  tl.record(s1, Resource::kGpuCompute, us(6));
+
+  const auto& a = tl.scope_stats(q1);
+  const auto& b = tl.scope_stats(q2);
+  EXPECT_EQ((a.serial + b.serial).ps(), tl.serial_total().ps());
+  for (std::size_t r = 0; r < sim::kNumResources; ++r) {
+    EXPECT_EQ((a.busy[r] + b.busy[r]).ps(),
+              tl.busy(static_cast<Resource>(r)).ps());
+  }
+  EXPECT_EQ(a.ops + b.ops, tl.num_ops());
+  // Scope 2's copy queued behind scope 1's on the single H2D engine:
+  // issue at 10 (stream opened at 5, engine busy until 10).
+  EXPECT_EQ(tl.ops()[1].start.ps(), us(10).ps());
+  EXPECT_EQ(b.finish.ps(), us(18).ps());
+  EXPECT_EQ(sim::max(a.finish, b.finish).ps(), tl.critical_path().ps());
+}
+
+TEST(TimelineScopes, StreamOpenAtDelaysFirstIssue) {
+  Timeline tl;
+  const auto s = tl.stream(us(42));
+  const auto e = tl.record(s, Resource::kGpuCompute, us(3));
+  EXPECT_EQ(tl.ops()[0].issue.ps(), us(42).ps());
+  EXPECT_EQ(e.at.ps(), us(45).ps());
+}
+
+TEST(TimelineScopes, InterleavedMultiStreamPropertyHolds) {
+  // Property test: for seeded random interleaves of ops from several
+  // scopes (each with a CPU/copy/compute stream triple, opened at random
+  // admission times), the core invariants hold regardless of order:
+  //   * ops on one resource never overlap, and respect record order;
+  //   * every op issues no earlier than its stream tail and its wait;
+  //   * serial_total == critical_path + saved exactly (integer ps);
+  //   * scope serial/busy/ops partition the global totals exactly.
+  util::Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    Timeline tl;
+    constexpr int kScopes = 4;
+    struct ScopeStreams {
+      Timeline::ScopeId scope;
+      Timeline::StreamId streams[3];
+      Timeline::Event last{};  // chain within the scope
+    };
+    std::vector<ScopeStreams> qs;
+    for (int i = 0; i < kScopes; ++i) {
+      ScopeStreams ss;
+      ss.scope = i == 0 ? tl.active_scope() : tl.scope();
+      const Duration open = Duration::from_us(double(rng() % 50));
+      for (auto& s : ss.streams) s = tl.stream(open);
+      qs.push_back(ss);
+    }
+
+    const int kOps = 60;
+    for (int i = 0; i < kOps; ++i) {
+      auto& ss = qs[rng() % kScopes];
+      tl.set_scope(ss.scope);
+      const auto r = static_cast<Resource>(rng() % sim::kNumResources);
+      const auto stream = ss.streams[rng() % 3];
+      const Duration d = Duration::from_ps(1 + std::int64_t(rng() % 9'999'983));
+      // Half the ops chain on the scope's previous op (cross-stream waits).
+      const bool chained = (rng() % 2) == 0;
+      const auto e = tl.record(stream, r, d,
+                               chained ? ss.last : Timeline::Event{});
+      ss.last = e;
+    }
+
+    // Per-resource serialization in record order.
+    Duration prev_end[sim::kNumResources] = {};
+    for (const auto& op : tl.ops()) {
+      const auto r = static_cast<std::size_t>(op.resource);
+      EXPECT_LE(op.issue.ps(), op.start.ps());
+      EXPECT_LE(op.start.ps(), op.end.ps());
+      EXPECT_GE(op.start.ps(), prev_end[r].ps()) << "resource overlap";
+      prev_end[r] = op.end;
+    }
+
+    // The exact identity the overlap accounting rests on. (`saved` can be
+    // negative here: streams opened at a late admission time leave the
+    // device idle before the first op, pushing the horizon past the serial
+    // sum.)
+    const Duration saved = tl.serial_total() - tl.critical_path();
+    EXPECT_EQ((tl.critical_path() + saved).ps(), tl.serial_total().ps());
+
+    // Scope partition of serial, busy, ops, and the horizon.
+    Duration serial_sum;
+    std::uint64_t ops_sum = 0;
+    Duration busy_sum[sim::kNumResources] = {};
+    Duration finish_max;
+    for (const auto& ss : qs) {
+      const auto& st = tl.scope_stats(ss.scope);
+      serial_sum += st.serial;
+      ops_sum += st.ops;
+      for (std::size_t r = 0; r < sim::kNumResources; ++r) {
+        busy_sum[r] += st.busy[r];
+      }
+      finish_max = sim::max(finish_max, st.finish);
+    }
+    EXPECT_EQ(serial_sum.ps(), tl.serial_total().ps());
+    EXPECT_EQ(ops_sum, tl.num_ops());
+    for (std::size_t r = 0; r < sim::kNumResources; ++r) {
+      EXPECT_EQ(busy_sum[r].ps(), tl.busy(static_cast<Resource>(r)).ps());
+      EXPECT_LE(tl.busy_fraction(static_cast<Resource>(r)), 1.0);
+    }
+    EXPECT_EQ(finish_max.ps(), tl.critical_path().ps());
+  }
 }
 
 TEST(Timeline, ResetDropsEverything) {
