@@ -14,11 +14,21 @@
 // IntersectStep record of QueryResult::trace.
 // The paper's observation: GPU wins while ratio < ~128 (the block size),
 // CPU above — which is the rule Griffin's scheduler applies.
+//
+// The sweep additionally re-derives the crossover per CPU vector preset
+// (DESIGN.md §13): the same pairs run through the scalar baseline, the
+// paper testbed's SSE4 unit, and a modern AVX2 profile. A vectorized CPU
+// pulls the measured crossover *down* from the scalar [256,512) — it wins
+// more of the ratio spectrum — and the JSON records both the measured
+// per-preset crossover and the scheduler's analytic threshold
+// (128 x crossover_scale) alongside the modeled full-decode speedup.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/hybrid_engine.h"
+#include "cpu/decode.h"
+#include "cpu/simd_cost.h"
 
 using namespace griffin;
 
@@ -46,6 +56,21 @@ index::InvertedIndex make_pair_index(const workload::ListPair& pair,
   return idx;
 }
 
+struct Preset {
+  const char* name;
+  sim::CpuSpec spec;
+};
+
+/// Modeled decode_all time of `list` under `spec` (the Figure 12 quantity:
+/// full decompression including materialization).
+double decode_ms(const codec::BlockCompressedList& list,
+                 const sim::CpuSpec& spec) {
+  sim::CpuCostAccumulator acc(spec);
+  std::vector<codec::DocId> out;
+  cpu::decode_all(list, out, acc);
+  return acc.time().ms();
+}
+
 }  // namespace
 
 int main() {
@@ -58,6 +83,10 @@ int main() {
   const std::uint64_t longer_size = bench::fast_mode() ? 400'000 : 1'500'000;
   const index::DocId universe = 48'000'000;
 
+  const std::vector<Preset> presets{{"scalar", sim::CpuSpec{}},
+                                    {"sse4", sim::CpuSpec::sse4_testbed()},
+                                    {"avx2", sim::CpuSpec::modern_avx2()}};
+
   struct Group {
     double lo, hi;
   };
@@ -65,15 +94,22 @@ int main() {
                                   {64, 128}, {128, 256}, {256, 512},
                                   {512, 1024}};
 
-  std::printf("%-12s %12s %12s %12s %12s %10s %10s\n", "ratio group",
-              "CPU (ms)", "GPU (ms)", "GPUpipe(ms)", "GPU xfer", "winner",
-              "pipe-win");
+  std::printf("%-12s %11s %11s %11s %11s %11s %8s %8s %8s\n", "ratio group",
+              "CPU (ms)", "SSE4 (ms)", "AVX2 (ms)", "GPU (ms)", "GPUpipe(ms)",
+              "scalar", "sse4", "avx2");
   bench::Json rows = bench::Json::array();
-  int crossover_group = -1;
+  std::vector<int> crossover_group(presets.size(), -1);
   int pipelined_crossover_group = -1;
+  // Modeled full-decode speedup per preset (the Figure 12 quantity), on one
+  // representative long list from the sweep.
+  std::vector<double> decode_speedup(presets.size(), 1.0);
+  bool measured_decode = false;
+
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     const double mid = std::sqrt(groups[gi].lo * groups[gi].hi);
-    double cpu_ms = 0.0, gpu_ms = 0.0, gpu_pipe_ms = 0.0, gpu_xfer_ms = 0.0;
+    std::vector<double> cpu_ms(presets.size(), 0.0);
+    std::vector<double> cpu_util(presets.size(), 0.0);
+    double gpu_ms = 0.0, gpu_pipe_ms = 0.0, gpu_xfer_ms = 0.0;
     for (int p = 0; p < pairs_per_group; ++p) {
       const auto pair =
           workload::make_pair_with_ratio(longer_size, mid, universe, 0.4, rng);
@@ -82,9 +118,28 @@ int main() {
       q.terms = {0, 1, 2};
       q.k = 10;
 
-      cpu::CpuEngine cpu_engine(idx);
-      const auto cpu_res = cpu_engine.execute(q);
-      const auto* cpu_step = nth_intersect(cpu_res.trace, 2);
+      if (!measured_decode) {
+        // One long list stands in for Figure 12's full-decode sweep: same
+        // list, scalar vs vectorized charges (output bit-identical).
+        const auto& list = idx.list(2).docids;
+        const double scalar_ms = decode_ms(list, presets[0].spec);
+        for (std::size_t pi = 0; pi < presets.size(); ++pi) {
+          decode_speedup[pi] = scalar_ms / decode_ms(list, presets[pi].spec);
+        }
+        measured_decode = true;
+      }
+
+      for (std::size_t pi = 0; pi < presets.size(); ++pi) {
+        cpu::CpuEngine cpu_engine(idx, presets[pi].spec);
+        const auto cpu_res = cpu_engine.execute(q);
+        const auto* cpu_step = nth_intersect(cpu_res.trace, 2);
+        if (cpu_step == nullptr) {
+          std::fprintf(stderr, "[crossover] missing CPU step record\n");
+          continue;
+        }
+        cpu_ms[pi] += cpu_step->duration.ms();
+        cpu_util[pi] += cpu_step->simd.utilization();
+      }
 
       // Figure 8 measures the paper's baseline GPU path: per-step device
       // allocation and no cross-query list cache (§2.3's handicap — the
@@ -98,11 +153,10 @@ int main() {
       const auto gpu_res = gpu_engine.execute(q);
       const auto* gpu_step = nth_intersect(gpu_res.trace, 2);
 
-      if (cpu_step == nullptr || gpu_step == nullptr) {
-        std::fprintf(stderr, "[crossover] missing step record, skipping\n");
+      if (gpu_step == nullptr) {
+        std::fprintf(stderr, "[crossover] missing GPU step record, skipping\n");
         continue;
       }
-      cpu_ms += cpu_step->duration.ms();
       gpu_ms += gpu_step->duration.ms();
       // Pipelined step time: the step's wall-clock span on the timeline
       // (first issue to last completion) — double-buffered H2D chunks ride
@@ -111,56 +165,91 @@ int main() {
       gpu_pipe_ms += (gpu_step->end - gpu_step->issue).ms();
       gpu_xfer_ms += gpu_step->transfer.ms();
     }
-    cpu_ms /= pairs_per_group;
+    for (std::size_t pi = 0; pi < presets.size(); ++pi) {
+      cpu_ms[pi] /= pairs_per_group;
+      cpu_util[pi] /= pairs_per_group;
+    }
     gpu_ms /= pairs_per_group;
     gpu_pipe_ms /= pairs_per_group;
     gpu_xfer_ms /= pairs_per_group;
-    const bool cpu_wins = cpu_ms < gpu_ms;
-    const bool cpu_wins_pipelined = cpu_ms < gpu_pipe_ms;
-    if (cpu_wins && crossover_group < 0) {
-      crossover_group = static_cast<int>(gi);
+    const bool cpu_wins_pipelined = cpu_ms[0] < gpu_pipe_ms;
+    for (std::size_t pi = 0; pi < presets.size(); ++pi) {
+      if (cpu_ms[pi] < gpu_ms && crossover_group[pi] < 0) {
+        crossover_group[pi] = static_cast<int>(gi);
+      }
     }
     if (cpu_wins_pipelined && pipelined_crossover_group < 0) {
       pipelined_crossover_group = static_cast<int>(gi);
     }
-    std::printf("[%4.0f,%4.0f) %12.3f %12.3f %12.3f %12.3f %10s %10s\n",
-                groups[gi].lo, groups[gi].hi, cpu_ms, gpu_ms, gpu_pipe_ms,
-                gpu_xfer_ms, cpu_wins ? "CPU" : "GPU",
-                cpu_wins_pipelined ? "CPU" : "GPU");
+    std::printf("[%4.0f,%4.0f) %11.3f %11.3f %11.3f %11.3f %11.3f %8s %8s %8s\n",
+                groups[gi].lo, groups[gi].hi, cpu_ms[0], cpu_ms[1], cpu_ms[2],
+                gpu_ms, gpu_pipe_ms, cpu_ms[0] < gpu_ms ? "CPU" : "GPU",
+                cpu_ms[1] < gpu_ms ? "CPU" : "GPU",
+                cpu_ms[2] < gpu_ms ? "CPU" : "GPU");
 
     bench::Json row = bench::Json::object();
     row["ratio_lo"] = groups[gi].lo;
     row["ratio_hi"] = groups[gi].hi;
-    row["cpu_ms"] = cpu_ms;
+    row["cpu_ms"] = cpu_ms[0];
+    row["cpu_sse4_ms"] = cpu_ms[1];
+    row["cpu_avx2_ms"] = cpu_ms[2];
+    row["cpu_sse4_lane_util"] = cpu_util[1];
+    row["cpu_avx2_lane_util"] = cpu_util[2];
     row["gpu_ms"] = gpu_ms;
     row["gpu_pipelined_ms"] = gpu_pipe_ms;
     row["gpu_transfer_ms"] = gpu_xfer_ms;
-    row["winner"] = cpu_wins ? "cpu" : "gpu";
+    row["winner"] = cpu_ms[0] < gpu_ms ? "cpu" : "gpu";
+    row["winner_sse4"] = cpu_ms[1] < gpu_ms ? "cpu" : "gpu";
+    row["winner_avx2"] = cpu_ms[2] < gpu_ms ? "cpu" : "gpu";
     row["pipelined_winner"] = cpu_wins_pipelined ? "cpu" : "gpu";
     rows.push_back(std::move(row));
   }
-  if (crossover_group >= 0) {
-    std::printf("\nMeasured crossover enters group [%.0f,%.0f) — paper: 128.\n",
-                groups[crossover_group].lo, groups[crossover_group].hi);
-  } else {
-    std::printf("\nNo crossover within the swept ratios.\n");
+  bench::Json preset_rows = bench::Json::array();
+  for (std::size_t pi = 0; pi < presets.size(); ++pi) {
+    const int cg = crossover_group[pi];
+    const double measured_ratio =
+        cg >= 0 ? std::sqrt(groups[static_cast<std::size_t>(cg)].lo *
+                            groups[static_cast<std::size_t>(cg)].hi)
+                : -1.0;
+    const double scale = cpu::simd::crossover_scale(presets[pi].spec);
+    if (cg >= 0) {
+      std::printf("\n%-6s crossover enters group [%.0f,%.0f) "
+                  "(measured point %.0f; scheduler threshold %.1f)",
+                  presets[pi].name, groups[static_cast<std::size_t>(cg)].lo,
+                  groups[static_cast<std::size_t>(cg)].hi, measured_ratio,
+                  128.0 * scale);
+    } else {
+      std::printf("\n%-6s: no crossover within the swept ratios", presets[pi].name);
+    }
+    bench::Json pr = bench::Json::object();
+    pr["name"] = presets[pi].name;
+    pr["crossover_group"] = cg;
+    pr["measured_crossover_ratio"] = measured_ratio;
+    pr["scheduler_threshold"] = 128.0 * scale;
+    pr["simd_decode_speedup"] = decode_speedup[pi];
+    preset_rows.push_back(std::move(pr));
   }
+  std::printf("\n(paper's rule: 128; scalar measured crossover stays above it,"
+              " SIMD presets pull it toward — never below — 128.)\n");
   if (pipelined_crossover_group >= 0) {
-    std::printf("With copy/compute overlap the crossover shifts to "
+    std::printf("With copy/compute overlap the scalar crossover shifts to "
                 "[%.0f,%.0f).\n",
                 groups[pipelined_crossover_group].lo,
                 groups[pipelined_crossover_group].hi);
   } else {
     std::printf("With copy/compute overlap the GPU wins every swept group.\n");
   }
+  std::printf("Modeled full-decode speedup vs scalar: sse4 %.2fx, avx2 %.2fx\n",
+              decode_speedup[1], decode_speedup[2]);
 
   bench::Json root = bench::Json::object();
   root["bench"] = "crossover";
   root["fast_mode"] = bench::fast_mode();
   root["longer_size"] = longer_size;
   root["groups"] = std::move(rows);
-  root["crossover_group"] = crossover_group;
+  root["crossover_group"] = crossover_group[0];
   root["pipelined_crossover_group"] = pipelined_crossover_group;
+  root["presets"] = std::move(preset_rows);
   bench::write_bench_json("crossover", root);
   return 0;
 }

@@ -4,6 +4,13 @@
 // reports GPU merge up to 87x over CPU merge, GPU binary up to ~102x over
 // CPU binary, and GPU merge up to 2.29x over GPU binary. GPU columns include
 // transfers, allocations and kernel launches.
+//
+// The CPU columns additionally ablate the vector unit (DESIGN.md §13):
+// scalar vs the testbed's SSE4 vs the modern AVX2 profile, for both the
+// shuffle-based block merge (Lemire et al.'s measured 2-5x band) and the
+// branch-bound skip/binary search (a modest 1.3-1.8x — vector compares
+// only replace the last levels of each search). Outputs are bit-identical;
+// only charged time moves.
 #include <cstdio>
 #include <vector>
 
@@ -24,17 +31,19 @@ const sim::GpuCostModel gpu_model(hw.gpu);
 const pcie::Link link_model(hw.pcie);
 
 double cpu_merge_ms(const codec::BlockCompressedList& a,
-                    const codec::BlockCompressedList& b) {
-  sim::CpuCostAccumulator acc(hw.cpu);
+                    const codec::BlockCompressedList& b,
+                    const sim::CpuSpec& spec) {
+  sim::CpuCostAccumulator acc(spec);
   std::vector<index::DocId> out;
   cpu::merge_intersect(a, b, out, acc);
   return acc.time().ms();
 }
 
 double cpu_binary_ms(const codec::BlockCompressedList& b,
-                     std::span<const index::DocId> a_decoded) {
+                     std::span<const index::DocId> a_decoded,
+                     const sim::CpuSpec& spec) {
   // Probe the shorter (already decoded) side into the longer via skips.
-  sim::CpuCostAccumulator acc(hw.cpu);
+  sim::CpuCostAccumulator acc(spec);
   std::vector<index::DocId> out;
   cpu::skip_intersect(a_decoded, b, out, acc);
   return acc.time().ms();
@@ -94,9 +103,14 @@ int main() {
       "GPU merge up to 87x over CPU merge; GPU merge ~2.3x over GPU binary");
 
   util::Xoshiro256 rng(321);
-  std::printf("%-10s %12s %12s %12s %12s %10s %10s\n", "longer", "CPUmerge",
-              "CPUbinary", "GPUmerge", "GPUbinary", "GM/CM", "GB/CB");
+  const sim::CpuSpec scalar{};
+  const sim::CpuSpec sse4 = sim::CpuSpec::sse4_testbed();
+  const sim::CpuSpec avx2 = sim::CpuSpec::modern_avx2();
+  std::printf("%-10s %11s %11s %11s %11s %11s %11s %11s %11s %8s %8s\n",
+              "longer", "CPUmerge", "CMsse4", "CMavx2", "CPUbinary", "CBsse4",
+              "CBavx2", "GPUmerge", "GPUbinary", "GM/CM", "GB/CB");
 
+  bench::Json rows = bench::Json::array();
   std::vector<std::uint64_t> sizes{1'000, 10'000, 100'000, 1'000'000,
                                    10'000'000};
   if (bench::fast_mode()) sizes.pop_back();
@@ -110,15 +124,41 @@ int main() {
     const auto lb = codec::BlockCompressedList::build(
         pair.longer, codec::Scheme::kEliasFano);
 
-    const double cm = cpu_merge_ms(la, lb);
-    const double cb = cpu_binary_ms(lb, pair.shorter);
+    const double cm = cpu_merge_ms(la, lb, scalar);
+    const double cm4 = cpu_merge_ms(la, lb, sse4);
+    const double cm8 = cpu_merge_ms(la, lb, avx2);
+    const double cb = cpu_binary_ms(lb, pair.shorter, scalar);
+    const double cb4 = cpu_binary_ms(lb, pair.shorter, sse4);
+    const double cb8 = cpu_binary_ms(lb, pair.shorter, avx2);
     GpuSide g;
     const double gm = g.merge_ms(la, lb);
     const double gb = g.binary_ms(la, lb);
 
-    std::printf("%-10llu %12.3f %12.3f %12.3f %12.3f %9.1fx %9.1fx\n",
-                static_cast<unsigned long long>(n), cm, cb, gm, gb, cm / gm,
-                cb / gb);
+    std::printf("%-10llu %11.3f %11.3f %11.3f %11.3f %11.3f %11.3f %11.3f "
+                "%11.3f %7.1fx %7.1fx\n",
+                static_cast<unsigned long long>(n), cm, cm4, cm8, cb, cb4, cb8,
+                gm, gb, cm / gm, cb / gb);
+    bench::Json row = bench::Json::object();
+    row["longer"] = n;
+    row["cpu_merge_ms"] = cm;
+    row["cpu_merge_sse4_ms"] = cm4;
+    row["cpu_merge_avx2_ms"] = cm8;
+    row["cpu_binary_ms"] = cb;
+    row["cpu_binary_sse4_ms"] = cb4;
+    row["cpu_binary_avx2_ms"] = cb8;
+    row["gpu_merge_ms"] = gm;
+    row["gpu_binary_ms"] = gb;
+    row["merge_sse4_speedup"] = cm / cm4;
+    row["merge_avx2_speedup"] = cm / cm8;
+    row["binary_sse4_speedup"] = cb / cb4;
+    row["binary_avx2_speedup"] = cb / cb8;
+    rows.push_back(std::move(row));
   }
+
+  bench::Json root = bench::Json::object();
+  root["bench"] = "intersection";
+  root["fast_mode"] = bench::fast_mode();
+  root["rows"] = std::move(rows);
+  bench::write_bench_json("intersection", root);
   return 0;
 }

@@ -121,6 +121,7 @@ void StepExecutor::dispatch(const PlanStep& step, const Query& q,
   scorer_->score(q.terms, host_current_, res.topk, rank);
   cpu::top_k(res.topk, q.k, rank);
   m.add_stage(rank.time(), &m.rank);
+  m.simd += rank.simd();
 }
 
 void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
@@ -211,6 +212,7 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
   const sim::Duration transfer0 = m.transfer;
   const sim::Duration rank0 = m.rank;
   const std::uint64_t kernels0 = m.gpu_kernels;
+  const sim::SimdCounters simd0 = m.simd;
   const std::size_t ops0 = tl_->num_ops();
 
   // GPU-dispatched steps record their own timeline ops (ledgers + kernels)
@@ -267,6 +269,7 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
   rec.intersect = m.intersect - intersect0;
   rec.transfer = m.transfer - transfer0;
   rec.rank = m.rank - rank0;
+  rec.simd = m.simd - simd0;
 
   if (gpu_step) {
     // Prefetches leave the chain untouched, so the frontier is unchanged

@@ -11,6 +11,7 @@
 
 #include "fault/fault.h"
 #include "index/inverted_index.h"
+#include "sim/cpu_cost_model.h"
 #include "sim/time.h"
 #include "sim/timeline.h"
 
@@ -98,6 +99,10 @@ struct StepRecord {
   sim::Duration intersect;
   sim::Duration transfer;
   sim::Duration rank;
+  /// Lane-accounting delta this step added to QueryMetrics::simd (all zero
+  /// for scalar-mode CPUs, GPU-placed steps and transfers). simd.utilization()
+  /// is the step's vector-lane occupancy.
+  sim::SimdCounters simd;
   /// Timeline placement (DESIGN.md §10): when the step's first op could
   /// issue (stream + event dependencies met), when its resource actually
   /// started it, and when its last op finished. duration still sums the
@@ -129,10 +134,17 @@ struct TraceSummary {
   /// Summed StepRecord::duration — the *serial* stage time, i.e. per query
   /// QueryMetrics::total (critical path) + overlap.saved.
   sim::Duration step_time;
+  /// Summed lane-accounting counters over every CPU step (DESIGN.md §13).
+  sim::SimdCounters simd;
+
+  /// Vector-lane occupancy across the whole trace (0 when no vectorized
+  /// loop ran anywhere — scalar CPUs or pure-GPU plans).
+  double lane_utilization() const { return simd.utilization(); }
 
   void add(const StepRecord& r) {
     ++steps;
     if (r.batch_group != 0) ++batched_steps;
+    simd += r.simd;
     if (r.faulted) {
       // An abandoned step's wasted time is real, but it did no stage work —
       // counting it as a gpu_intersect would misstate the processor split.
@@ -171,6 +183,7 @@ struct TraceSummary {
     faulted_steps += o.faulted_steps;
     batched_steps += o.batched_steps;
     step_time += o.step_time;
+    simd += o.simd;
     return *this;
   }
 
@@ -269,6 +282,7 @@ struct QueryMetrics {
   CacheCounters cache;            ///< per-query cache-tier counters
   OverlapCounters overlap;        ///< copy/compute-overlap accounting
   fault::FaultCounters faults;    ///< injected-fault / degradation counters
+  sim::SimdCounters simd;         ///< lane accounting over the CPU's vector loops
   std::vector<Placement> placements;  ///< one per intersection step
 
   void add_stage(sim::Duration d, sim::Duration* stage) {

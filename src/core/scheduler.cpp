@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cpu/simd_cost.h"
 #include "util/bits.h"
 
 namespace griffin::core {
@@ -20,6 +21,10 @@ Placement Scheduler::decide(const StepShape& s) const {
       // the GPU's transfer cost (raises λ), a host-decoded one removes the
       // CPU's decode cost (lowers λ). Cold caches leave λ at the paper's.
       double threshold = opt_.ratio_threshold;
+      // A vectorized CPU cheapens the skip path the same way at every λ, so
+      // the λ=128 balance point slides down by the SIMD-to-scalar cost
+      // ratio (1.0 for a scalar CpuSpec).
+      if (opt_.simd_aware) threshold *= cpu::simd::crossover_scale(hw_.cpu);
       if (opt_.residency_aware) {
         if (s.longer_device_resident) {
           threshold *= opt_.resident_ratio_boost;
@@ -40,7 +45,13 @@ Placement Scheduler::decide(const StepShape& s) const {
 }
 
 sim::Duration Scheduler::estimate_cpu(const StepShape& s) const {
-  const auto& c = hw_.cpu;
+  // The estimate prices each term through cpu/simd_cost.h's effective_*
+  // helpers — the same closed forms the engine charges through — so the
+  // decision model and the charges can never disagree. With the vector
+  // unit off (or simd_aware disabled) every helper returns the scalar
+  // CpuSpec knob and this reduces to the pre-SIMD estimate exactly.
+  sim::CpuSpec c = hw_.cpu;
+  if (!opt_.simd_aware) c.vector.enabled = false;
   const double ns = static_cast<double>(s.shorter);
   const double nl = static_cast<double>(s.longer);
   double cycles;
@@ -58,12 +69,16 @@ sim::Duration Scheduler::estimate_cpu(const StepShape& s) const {
     const double nblocks = nl / 128.0;
     const double touched =
         nblocks * (1.0 - std::exp(-probes / std::max(nblocks, 1.0)));
-    cycles = probes * steps * (3.0 + 0.5 * c.branch_miss_cycles);
-    if (!host_decoded) cycles += touched * 128.0 * c.ef_decode_cycles;
+    cycles = probes * cpu::simd::effective_probe_search_cycles(c, steps);
+    if (!host_decoded) {
+      cycles += touched * 128.0 * cpu::simd::effective_ef_decode_cycles(c);
+    }
   } else {
     // Full decode + merge; a host-decoded long list merges without decode.
-    cycles = (ns + nl) * c.merge_step_cycles;
-    if (!host_decoded) cycles += nl * c.pfor_decode_cycles;
+    cycles = (ns + nl) * cpu::simd::effective_merge_step_cycles(c);
+    if (!host_decoded) {
+      cycles += nl * cpu::simd::effective_pfor_decode_cycles(c);
+    }
   }
   sim::Duration t = sim::Duration::from_cycles(cycles, c.clock_ghz);
   // Migration: intermediate currently on the GPU must come back first.

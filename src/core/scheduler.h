@@ -67,6 +67,14 @@ struct SchedulerOptions {
   /// MergePath path double-buffers the payload H2D against Para-EF decode,
   /// so transfer and memory time combine as max(), not sum.
   bool overlap_aware = true;
+  /// Consume the CPU's vector-mode costs (cpu/simd_cost.h) in both
+  /// policies: kCostModel estimates CPU steps with the effective_* SIMD
+  /// costs (the same closed forms the engine charges through), and
+  /// kRatioThreshold scales its crossover by the SIMD-to-scalar cost ratio
+  /// of the skip path — a vectorized CPU claims more of the ratio spectrum,
+  /// so the GPU-favored band shrinks (DESIGN.md §13 derives the scale).
+  /// No-op for a scalar CpuSpec; off = decide as if the CPU were scalar.
+  bool simd_aware = true;
 };
 
 // StepShape (the scheduler's per-step input) lives in core/query.h so trace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cpu/simd_cost.h"
 #include "util/bits.h"
 
 namespace griffin::cpu {
@@ -12,6 +13,38 @@ namespace {
 constexpr double kProbeCycles = 3.0;
 /// A data-dependent binary-search branch mispredicts about half the time.
 constexpr double kMissFraction = 0.5;
+
+/// Merge-advance charge: scalar pays the branchy per-step cost; vector mode
+/// charges the shuffle-based block merge (Lemire et al.) as one vectorized
+/// loop — ceil(steps/lanes) iterations of the compare/minmax network plus
+/// the compaction shuffle (cpu/simd_cost.h has the issue counts).
+void charge_merge_steps(sim::CpuCostAccumulator& acc, std::uint64_t steps) {
+  if (!simd::enabled(acc.spec())) {
+    acc.merge_steps(steps);
+    return;
+  }
+  const sim::CpuVectorSpec& v = acc.spec().vector;
+  simd::charge_loop(acc, steps,
+                    simd::kMergeOpsPerLane * v.lanes + simd::kMergeFixedOps,
+                    simd::kMergeShufflesPerLane * v.lanes);
+}
+
+/// Aggregated search charge for `probes` skip/gallop searches totalling
+/// `steps` binary levels. Vector mode absorbs the last
+/// search_levels_absorbed() levels of each probe into one branchless
+/// lanes-wide window compare; the remaining levels stay branchy.
+void charge_search_steps(sim::CpuCostAccumulator& acc, std::uint64_t steps,
+                         std::uint64_t probes) {
+  if (!simd::enabled(acc.spec()) || probes == 0) {
+    charge_binary_steps(acc, steps);
+    return;
+  }
+  const std::uint64_t absorbed = std::min(
+      steps, probes * static_cast<std::uint64_t>(
+                          simd::search_levels_absorbed(acc.spec().vector)));
+  charge_binary_steps(acc, steps - absorbed);
+  simd::charge_probe_windows(acc, probes);
+}
 }  // namespace
 
 void charge_binary_steps(sim::CpuCostAccumulator& acc, std::uint64_t steps) {
@@ -35,7 +68,7 @@ void merge_intersect(std::span<const DocId> a, std::span<const DocId> b,
       ++j;
     }
   }
-  acc.merge_steps(i + j);
+  charge_merge_steps(acc, i + j);
   acc.add_bytes((i + j) * sizeof(DocId));
 }
 
@@ -67,7 +100,7 @@ void merge_intersect(std::span<const DocId> a, const BlockCompressedList& b,
       ++steps;
     }
   }
-  acc.merge_steps(steps);
+  charge_merge_steps(acc, steps);
   acc.add_bytes(steps * sizeof(DocId));
 }
 
@@ -104,7 +137,7 @@ void merge_intersect(const BlockCompressedList& a, const BlockCompressedList& b,
     if (i == an) ++ablk;
     if (j == bn) ++bblk;
   }
-  acc.merge_steps(steps);
+  charge_merge_steps(acc, steps);
   acc.add_bytes(steps * sizeof(DocId));
 }
 
@@ -118,6 +151,11 @@ void skip_intersect(std::span<const DocId> probes,
   std::size_t cur = 0;              // current block cursor (monotone)
   std::size_t decoded_block = SIZE_MAX;
   std::uint32_t decoded_n = 0;
+  // Vector mode batches the search charges: the scalar path charges each
+  // search where it happens (bit-identical to the pre-SIMD code), the SIMD
+  // path aggregates (searches, levels) and charges once at the end.
+  const bool vec = simd::enabled(acc.spec());
+  std::uint64_t vec_steps = 0, vec_searches = 0;
 
   for (DocId p : probes) {
     // Gallop over the skip table from the cursor, then binary search the
@@ -145,7 +183,12 @@ void skip_intersect(std::span<const DocId> probes,
         ++steps;
       }
       cur = l;
-      charge_binary_steps(acc, steps);
+      if (vec) {
+        vec_steps += steps;
+        ++vec_searches;
+      } else {
+        charge_binary_steps(acc, steps);
+      }
       if (cur >= metas.size()) break;
     }
     if (metas[cur].first > p) continue;  // p falls in a gap between blocks
@@ -173,9 +216,17 @@ void skip_intersect(std::span<const DocId> probes,
     const DocId* lo_it = buf.data();
     const DocId* hi_it = buf.data() + decoded_n;
     const DocId* it = std::lower_bound(lo_it, hi_it, p);
-    charge_binary_steps(acc, util::ceil_log2(std::max<std::uint32_t>(decoded_n, 2)));
+    const std::uint64_t levels =
+        util::ceil_log2(std::max<std::uint32_t>(decoded_n, 2));
+    if (vec) {
+      vec_steps += levels;
+      ++vec_searches;
+    } else {
+      charge_binary_steps(acc, levels);
+    }
     if (it != hi_it && *it == p) out.push_back(p);
   }
+  if (vec) charge_search_steps(acc, vec_steps, vec_searches);
 }
 
 void skip_intersect(std::span<const DocId> probes,
@@ -185,6 +236,7 @@ void skip_intersect(std::span<const DocId> probes,
   if (probes.empty() || target.empty()) return;
   std::size_t cur = 0;  // search front (probes ascend, so it only advances)
   std::uint64_t steps = 0;
+  std::uint64_t searches = 0;
   for (const DocId p : probes) {
     if (cur >= target.size()) break;
     // Gallop from the front, then binary-search the bracketed range.
@@ -206,12 +258,13 @@ void skip_intersect(std::span<const DocId> probes,
       ++steps;
     }
     cur = l;
+    ++searches;
     if (cur < target.size() && target[cur] == p) {
       out.push_back(p);
       ++cur;
     }
   }
-  charge_binary_steps(acc, steps);
+  charge_search_steps(acc, steps, searches);
   acc.add_bytes(steps * sizeof(DocId));
 }
 

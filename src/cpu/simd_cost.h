@@ -1,0 +1,199 @@
+// Lane-accurate SIMD cost accounting for the CPU engine (DESIGN.md §13) —
+// the CPU mirror of simt/'s warp accounting. Where the virtual GPU counts a
+// warp's work as the max over its 32 lanes, this layer charges a vectorized
+// CPU loop over n elements as exactly ceil(n/lanes) vector iterations plus a
+// per-loop setup, with a masked final iteration absorbing the scalar tail.
+// The functional decode/intersect code is untouched: SIMD mode moves only
+// the charged cycles, never the produced docIDs (tests/test_simd_parity.cpp
+// pins this).
+//
+// Per-algorithm issue counts below are *calibrated*, exactly like the scalar
+// knobs in sim::CpuSpec (EXPERIMENTS.md "Calibration"): they are chosen so
+// the modeled speedups land inside the ranges Lemire, Boytsov & Kurz
+// measured ("SIMD Compression and the Intersection of Sorted Integers",
+// PAPERS.md) — 4-8x full-list decode (SIMD-BP128-style bit-unpacking with
+// vectorized delta + streaming stores), 2-5x merge intersection (shuffle-
+// based block merge), and a modest 1.3-1.8x on the branch-bound skip/gallop
+// search (vector compare only replaces the last levels of each binary
+// search). The scheduler's estimates (core/scheduler.cpp) consume the same
+// effective_* helpers the engines charge through, so the decision model and
+// the charges can never disagree.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/cpu_cost_model.h"
+#include "sim/hardware_spec.h"
+#include "util/bits.h"
+
+namespace griffin::cpu::simd {
+
+// ---- Per-vector-iteration issue counts (algorithm constants) ----
+// A "vector op" is an ALU-port issue (shift/and/or/add/min/max/compare), a
+// "shuffle" a shuffle-port issue (pshufb/permute). Costs per issue come
+// from sim::CpuVectorSpec.
+
+/// SIMD-BP128-style bit-unpack of one vector of packed slots: shift, mask,
+/// or-merge, plus the rolling carry between slot boundaries.
+inline constexpr double kUnpackOps = 4.0;
+/// Delta decoding: prefix-sum inside the vector (log-depth shifted adds)
+/// plus the broadcast of the running base.
+inline constexpr double kDeltaOps = 2.0;
+inline constexpr double kDeltaShuffles = 2.0;
+/// Full materialization (decode_all): vectorized streaming store of the
+/// reconstructed docIDs plus the loop's address bookkeeping.
+inline constexpr double kStoreOps = 2.0;
+/// Per-element scalar residue a vectorized full decode cannot hide: block
+/// loop control, skip-table reads, exception-patch branches.
+inline constexpr double kMaterializeResidueCycles = 2.0;
+/// Elias-Fano: the unary high-bits scan stays word-serial (popcount-guided,
+/// not lane-parallel), charged per element even in SIMD mode...
+inline constexpr double kEfHighScalarCycles = 1.0;
+/// ...while the packed lower bits unpack exactly like a bit-packed slot.
+inline constexpr double kEfLowerOps = 4.0;
+/// Shuffle-based two-list block merge (Lemire et al. §5): per vector
+/// iteration, both frontier vectors load, run a compare/minmax network, and
+/// the matches compact through one lookup shuffle. The network's depth
+/// scales with the vector width, so the shuffle count is per-lane.
+inline constexpr double kMergeOpsPerLane = 1.5;
+inline constexpr double kMergeShufflesPerLane = 1.25;
+inline constexpr double kMergeFixedOps = 4.0;  ///< loads + movemask + store
+/// SIMD gallop/binary search: the last levels of each probe's binary search
+/// are replaced by a branchless compare of one lanes-wide vector window...
+inline constexpr double kSearchWindowOps = 2.0;      ///< cmp + movemask
+inline constexpr double kSearchWindowShuffles = 1.0; ///< broadcast the key
+/// ...which absorbs ceil(log2(lanes)) branchy levels per probe.
+inline int search_levels_absorbed(const sim::CpuVectorSpec& v) {
+  return static_cast<int>(
+      util::ceil_log2(static_cast<std::uint32_t>(std::max(v.lanes, 2))));
+}
+
+inline bool enabled(const sim::CpuSpec& s) {
+  return s.vector.enabled && s.vector.lanes > 1;
+}
+
+/// ceil(n / lanes): the vector iterations one loop over n elements charges.
+inline std::uint64_t vector_iters(std::uint64_t n, const sim::CpuVectorSpec& v) {
+  const auto lanes = static_cast<std::uint64_t>(v.lanes);
+  return (n + lanes - 1) / lanes;
+}
+
+/// Cycles of one vector iteration issuing `ops` ALU ops and `shuffles`
+/// shuffle ops.
+inline double iter_cycles(const sim::CpuVectorSpec& v, double ops,
+                          double shuffles) {
+  return ops * v.vector_op_cycles + shuffles * v.shuffle_cycles;
+}
+
+/// Charges one vectorized loop over n elements at (`ops`, `shuffles`) issues
+/// per vector iteration: block_setup + ceil(n/lanes) iterations + the masked
+/// tail's per-element penalty. Updates the accumulator's lane counters; the
+/// invariant tests assert vector_ops grows by exactly ceil(n/lanes).
+inline void charge_loop(sim::CpuCostAccumulator& acc, std::uint64_t n,
+                        double ops, double shuffles = 0.0) {
+  if (n == 0) return;
+  const sim::CpuVectorSpec& v = acc.spec().vector;
+  const std::uint64_t iters = vector_iters(n, v);
+  const std::uint64_t tail = n % static_cast<std::uint64_t>(v.lanes);
+  const double cycles = v.block_setup_cycles +
+                        static_cast<double>(iters) * iter_cycles(v, ops, shuffles) +
+                        static_cast<double>(tail) * v.scalar_tail_cycles;
+  acc.add_vector_loop(n, iters, cycles);
+}
+
+/// Charges the vector-window compares of `probes` SIMD-terminated searches
+/// as one vectorized loop: one lanes-wide window (= one vector iteration)
+/// per probe, all lanes examined, setup paid once for the batch.
+inline void charge_probe_windows(sim::CpuCostAccumulator& acc,
+                                 std::uint64_t probes) {
+  if (probes == 0) return;
+  const sim::CpuVectorSpec& v = acc.spec().vector;
+  const double cycles =
+      v.block_setup_cycles +
+      static_cast<double>(probes) *
+          iter_cycles(v, kSearchWindowOps, kSearchWindowShuffles);
+  acc.add_vector_loop(probes * static_cast<std::uint64_t>(v.lanes), probes,
+                      cycles);
+}
+
+// ---- Effective per-element / per-step costs ----
+//
+// Closed forms of the charges above (setup and tail amortized away), shared
+// by the scheduler's estimates so decisions track what the engines charge.
+// Each returns the *scalar* spec cost when the vector unit is disabled.
+
+/// Cache-hot PForDelta block decode, per element (the intersection path).
+inline double effective_pfor_decode_cycles(const sim::CpuSpec& s) {
+  if (!enabled(s)) return s.pfor_decode_cycles;
+  return iter_cycles(s.vector, kUnpackOps + kDeltaOps, kDeltaShuffles) /
+         s.vector.lanes;
+}
+
+/// Cache-hot Elias-Fano block decode, per element.
+inline double effective_ef_decode_cycles(const sim::CpuSpec& s) {
+  if (!enabled(s)) return s.ef_decode_cycles;
+  return kEfHighScalarCycles +
+         iter_cycles(s.vector, kEfLowerOps + kDeltaOps, kDeltaShuffles) /
+             s.vector.lanes;
+}
+
+/// Full-list materialization surcharge, per element (decode_all).
+inline double effective_materialize_cycles(const sim::CpuSpec& s) {
+  if (!enabled(s)) return s.decode_materialize_cycles;
+  return kMaterializeResidueCycles +
+         iter_cycles(s.vector, kStoreOps, 0.0) / s.vector.lanes;
+}
+
+/// One two-pointer merge advance (compare + advance + conditional emit).
+inline double effective_merge_step_cycles(const sim::CpuSpec& s) {
+  if (!enabled(s)) return s.merge_step_cycles;
+  const sim::CpuVectorSpec& v = s.vector;
+  const double per_iter =
+      iter_cycles(v, kMergeOpsPerLane * v.lanes + kMergeFixedOps,
+                  kMergeShufflesPerLane * v.lanes);
+  return per_iter / v.lanes;
+}
+
+/// One branchy binary-search level (probe + data-dependent branch), scalar.
+inline double scalar_search_step_cycles(const sim::CpuSpec& s) {
+  // Matches cpu/intersect.cpp's charge_binary_steps: kProbeCycles plus the
+  // expected half-rate mispredict.
+  return 3.0 + 0.5 * s.branch_miss_cycles;
+}
+
+/// Skip/gallop search cost for one probe that walks `levels` binary-search
+/// levels: SIMD replaces the last search_levels_absorbed() levels with one
+/// branchless vector-window compare.
+inline double effective_probe_search_cycles(const sim::CpuSpec& s,
+                                            double levels) {
+  const double scalar = levels * scalar_search_step_cycles(s);
+  if (!enabled(s)) return scalar;
+  const double absorbed =
+      std::min(levels, static_cast<double>(search_levels_absorbed(s.vector)));
+  return (levels - absorbed) * scalar_search_step_cycles(s) +
+         iter_cycles(s.vector, kSearchWindowOps, kSearchWindowShuffles);
+}
+
+/// How far the §3.2 ratio crossover shifts when this CPU's vector unit is
+/// on: the SIMD-to-scalar cost ratio of the skip path at the crossover
+/// shape (λ = block size, where each probe touches a distinct block — one
+/// block decode + one skip search per probe). The GPU side is unchanged and
+/// its selective path also scales with the probe count there, so the
+/// balance ratio λ* scales by this same factor (DESIGN.md §13 derives it).
+/// Returns 1.0 for a scalar CPU; < 1 otherwise (a faster CPU claims more of
+/// the ratio spectrum, so the GPU-favored band shrinks).
+inline double crossover_scale(const sim::CpuSpec& s,
+                              std::uint32_t block_size = 128) {
+  if (!enabled(s)) return 1.0;
+  const double levels =
+      static_cast<double>(util::ceil_log2(std::max(block_size, 2u))) + 7.0;
+  const double block = static_cast<double>(block_size);
+  const double scalar =
+      block * s.ef_decode_cycles + levels * scalar_search_step_cycles(s);
+  const double simd = block * effective_ef_decode_cycles(s) +
+                      effective_probe_search_cycles(s, levels);
+  return simd / scalar;
+}
+
+}  // namespace griffin::cpu::simd

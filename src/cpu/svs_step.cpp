@@ -75,6 +75,7 @@ void SvsStepper::first_pair(index::TermId a, index::TermId b,
     }
   }
   m.add_stage(acc.time(), &m.intersect);
+  m.simd += acc.simd();
   m.placements.push_back(core::Placement::kCpu);
 }
 
@@ -102,6 +103,7 @@ void SvsStepper::next_step(std::vector<codec::DocId>& current, index::TermId t,
   }
   current.swap(out_scratch_);
   m.add_stage(acc.time(), &m.intersect);
+  m.simd += acc.simd();
   m.placements.push_back(core::Placement::kCpu);
 }
 
@@ -116,6 +118,7 @@ void SvsStepper::decode_single(index::TermId t, std::vector<codec::DocId>& out,
     out.assign(docs.begin(), docs.end());
   }
   m.add_stage(acc.time(), &m.decode);
+  m.simd += acc.simd();
 }
 
 }  // namespace griffin::cpu

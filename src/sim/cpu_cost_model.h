@@ -12,12 +12,65 @@
 
 namespace griffin::sim {
 
+/// Lane-accounting counters for the SIMD execution mode (DESIGN.md §13) —
+/// the CPU mirror of simt/'s per-warp work counts. One vectorized loop over
+/// n elements charges exactly ceil(n/lanes) vector iterations; the lanes
+/// those iterations *could* have filled versus the elements they actually
+/// processed is the vector efficiency traces report.
+struct SimdCounters {
+  std::uint64_t loops = 0;         ///< vectorized loops entered
+  std::uint64_t vector_ops = 0;    ///< Σ ceil(n/lanes) over loops
+  std::uint64_t useful_lanes = 0;  ///< Σ n (elements actually processed)
+  std::uint64_t charged_lanes = 0; ///< Σ ceil(n/lanes)*lanes (slots paid for)
+  std::uint64_t tail_elems = 0;    ///< Σ n mod lanes (masked-tail elements)
+
+  /// Fraction of paid-for lane slots that did useful work (0 when no
+  /// vectorized loop ran — scalar mode, GPU-placed steps, transfers).
+  double utilization() const {
+    return charged_lanes == 0 ? 0.0
+                              : static_cast<double>(useful_lanes) /
+                                    static_cast<double>(charged_lanes);
+  }
+
+  SimdCounters& operator+=(const SimdCounters& o) {
+    loops += o.loops;
+    vector_ops += o.vector_ops;
+    useful_lanes += o.useful_lanes;
+    charged_lanes += o.charged_lanes;
+    tail_elems += o.tail_elems;
+    return *this;
+  }
+  friend SimdCounters operator-(SimdCounters a, const SimdCounters& b) {
+    a.loops -= b.loops;
+    a.vector_ops -= b.vector_ops;
+    a.useful_lanes -= b.useful_lanes;
+    a.charged_lanes -= b.charged_lanes;
+    a.tail_elems -= b.tail_elems;
+    return a;
+  }
+};
+
 class CpuCostAccumulator {
  public:
   explicit CpuCostAccumulator(const CpuSpec& spec) : spec_(&spec) {}
 
+  const CpuSpec& spec() const { return *spec_; }
+
   void add_cycles(double c) { cycles_ += c; }
   void add_bytes(std::uint64_t b) { bytes_ += b; }
+
+  /// One vectorized loop: `n` elements in `vops` vector iterations costing
+  /// `cycles` total (cpu/simd_cost.h computes both from the vector spec).
+  void add_vector_loop(std::uint64_t n, std::uint64_t vops, double cycles) {
+    cycles_ += cycles;
+    const auto lanes = static_cast<std::uint64_t>(spec_->vector.lanes);
+    ++simd_.loops;
+    simd_.vector_ops += vops;
+    simd_.useful_lanes += n;
+    simd_.charged_lanes += vops * lanes;
+    simd_.tail_elems += n % lanes;
+  }
+  const SimdCounters& simd() const { return simd_; }
 
   // Convenience charges matching the CpuSpec knobs.
   void merge_steps(std::uint64_t n) { cycles_ += n * spec_->merge_step_cycles; }
@@ -47,6 +100,7 @@ class CpuCostAccumulator {
   const CpuSpec* spec_;
   double cycles_ = 0.0;
   std::uint64_t bytes_ = 0;
+  SimdCounters simd_;
 };
 
 }  // namespace griffin::sim

@@ -13,11 +13,46 @@
 
 namespace griffin::sim {
 
+/// Vector-unit parameters for the SIMD execution mode (DESIGN.md §13).
+/// When `enabled`, the CPU cost layer charges vectorized loops by
+/// ceil(n/lanes) vector iterations (cpu/simd_cost.h — the CPU mirror of
+/// simt/'s warp accounting) instead of per-element scalar costs. Results
+/// are bit-identical either way; only the charged cycles move.
+struct CpuVectorSpec {
+  bool enabled = false;
+  /// Vector width in 32-bit elements (SSE = 4, AVX2 = 8).
+  int lanes = 4;
+  /// Cycles per vector ALU issue (shift/and/add/compare), throughput-
+  /// normalized: 1.0 = one vector op per cycle, 0.5 = two issue ports.
+  double vector_op_cycles = 1.0;
+  /// Cycles per byte-shuffle / permute issue (pshufb and friends). Kept
+  /// separate from plain ALU ops because shuffle-based merge and the
+  /// bit-unpack networks are shuffle-port-bound on real cores.
+  double shuffle_cycles = 1.0;
+  /// Cycles per *element* gathered from non-contiguous addresses. Cores
+  /// without a hardware gather (SSE4) emulate with insert/extract.
+  double gather_cycles = 2.0;
+  /// Fixed cycles to enter one vectorized loop (masks, alignment, loads of
+  /// the shift/shuffle constants) — charged once per loop.
+  double block_setup_cycles = 8.0;
+  /// Extra cycles per element of a loop's scalar tail (n % lanes leftovers
+  /// handled by a masked final iteration).
+  double scalar_tail_cycles = 2.0;
+  /// Preset label for benches/JSON ("scalar" when !enabled).
+  const char* name = "scalar";
+};
+
 struct CpuSpec {
   double clock_ghz = 2.5;
-  /// Sustainable load bandwidth of one core (DDR3-1600, single channel
-  /// effectively feeding one core's stream).
+  /// Roofline bandwidth term for the CPU cost model: the sustainable
+  /// *per-core stream* rate, set to the DDR3-1600 single-channel peak.
+  /// This is a calibration choice, not a claim about channel wiring — the
+  /// engines model one core, and one Ivy Bridge core's sustained load
+  /// stream saturates near one channel's rate, which is what pins the
+  /// bandwidth legs of Figures 12/13 (see EXPERIMENTS.md "Calibration").
   double mem_bandwidth_gbps = 12.8;
+  /// Vector unit (disabled by default: the scalar paper baseline).
+  CpuVectorSpec vector;
 
   // Per-operation costs in core cycles, calibrated so that the CPU
   // baseline's absolute times land near the paper's measured Figures 12/13
@@ -37,6 +72,35 @@ struct CpuSpec {
   double decode_materialize_cycles = 24.0;  ///< extra per element, decode_all
   double score_cycles = 15.0;           ///< BM25 of one (doc, term) pair
   double heap_step_cycles = 3.5;        ///< one partial_sort compare+sift step
+
+  /// The paper's Xeon E5-2609v2 with its integer SIMD unit switched on:
+  /// Ivy Bridge executes integer vector ops at 128 bits (SSE4.2), one
+  /// ALU-port issue per cycle, no hardware gather. Same core model as the
+  /// scalar default — only the vector parameters differ, so any crossover
+  /// shift is attributable to the lanes alone.
+  static CpuSpec sse4_testbed() {
+    CpuSpec s;
+    s.vector = CpuVectorSpec{/*enabled=*/true, /*lanes=*/4,
+                             /*vector_op_cycles=*/1.0, /*shuffle_cycles=*/1.0,
+                             /*gather_cycles=*/2.0, /*block_setup_cycles=*/8.0,
+                             /*scalar_tail_cycles=*/2.0, "sse4"};
+    return s;
+  }
+
+  /// A modern AVX2 profile (Haswell-and-later integer SIMD): 256-bit
+  /// integer vectors, two vector-ALU issue ports, one shuffle port (so
+  /// cross-lane permutes don't get the 2x issue win), hardware gather.
+  /// Clock and memory bandwidth are deliberately pinned to the testbed's —
+  /// the preset isolates the vector-width effect on the §3.2 crossover
+  /// (EXPERIMENTS.md "Calibration" records the parameter choices).
+  static CpuSpec modern_avx2() {
+    CpuSpec s;
+    s.vector = CpuVectorSpec{/*enabled=*/true, /*lanes=*/8,
+                             /*vector_op_cycles=*/0.5, /*shuffle_cycles=*/1.0,
+                             /*gather_cycles=*/1.0, /*block_setup_cycles=*/6.0,
+                             /*scalar_tail_cycles=*/2.0, "avx2"};
+    return s;
+  }
 };
 
 struct GpuSpec {
