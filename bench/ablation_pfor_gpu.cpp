@@ -41,7 +41,7 @@ int main() {
     const auto stats =
         gpu::pfor_decode_range(dev, dl, 0, dl.num_blocks(), out);
     double exc = 0;
-    for (const auto& m : list.metas()) exc += m.pfor.n_exceptions;
+    for (const auto& m : list.metas()) exc += m.hdr.pfor().n_exceptions;
     exc /= static_cast<double>(list.num_blocks());
     std::printf("%-18s %14.2f %14.3f %16.1f\n", label,
                 list.bits_per_posting(),

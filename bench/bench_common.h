@@ -49,10 +49,10 @@ inline std::string cache_dir() {
 /// folds in every config field that affects the output.
 inline index::InvertedIndex cached_corpus(const workload::CorpusConfig& cfg) {
   char key[256];
-  std::snprintf(key, sizeof(key), "corpus_%u_%u_%.3f_%.3f_%u_%u_%u_%llu.idx",
+  std::snprintf(key, sizeof(key), "corpus_%u_%u_%.3f_%.3f_%u_%u%s_%u_%llu.idx",
                 cfg.num_docs, cfg.num_terms, cfg.max_list_divisor, cfg.zipf_s,
                 cfg.min_list_size, static_cast<unsigned>(cfg.scheme),
-                cfg.block_size,
+                cfg.adaptive ? "a" : "", cfg.block_size,
                 static_cast<unsigned long long>(cfg.seed));
   const std::string path = cache_dir() + "/" + key;
   if (std::filesystem::exists(path)) {

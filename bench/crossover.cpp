@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "codec/codec.h"
 #include "core/hybrid_engine.h"
+#include "core/scheduler.h"
 #include "cpu/decode.h"
 #include "cpu/simd_cost.h"
 
@@ -242,6 +244,51 @@ int main() {
   std::printf("Modeled full-decode speedup vs scalar: sse4 %.2fx, avx2 %.2fx\n",
               decode_speedup[1], decode_speedup[2]);
 
+  // Per-codec analytic crossover: the scheduler's closed-form estimates with
+  // StepShape::longer_scheme set, swept over the ratio axis. One
+  // representative long list per scheme supplies the actual compressed
+  // bytes-per-posting for the transfer term, so both codec levers — CPU
+  // decode cost and PCIe payload — move the balance point.
+  std::printf("\nPer-codec analytic crossover (scheduler cost model):\n");
+  std::printf("  %-10s %14s %18s\n", "codec", "bytes/posting",
+              "crossover ratio");
+  const core::Scheduler sched({}, sim::HardwareSpec{});
+  const auto probe_docs =
+      workload::make_uniform_list(longer_size, universe, rng);
+  bench::Json codec_rows = bench::Json::array();
+  for (const codec::Scheme s : codec::all_schemes()) {
+    const auto list = codec::BlockCompressedList::build(probe_docs, s);
+    const double bpe = static_cast<double>(list.compressed_bytes()) /
+                       static_cast<double>(longer_size);
+    double cross = -1.0;
+    for (double r = 1.0; r <= 4096.0; r *= 1.05) {
+      core::StepShape shape;
+      shape.longer = longer_size;
+      shape.shorter = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(longer_size / r));
+      shape.longer_bytes = list.compressed_bytes();
+      shape.longer_scheme = s;
+      if (sched.estimate_cpu(shape) < sched.estimate_gpu(shape)) {
+        cross = r;
+        break;
+      }
+    }
+    if (cross >= 0) {
+      std::printf("  %-10s %14.2f %18.0f\n", codec::scheme_name(s).c_str(),
+                  bpe, cross);
+    } else {
+      std::printf("  %-10s %14.2f %18s\n", codec::scheme_name(s).c_str(), bpe,
+                  "none<=4096");
+    }
+    bench::Json cr = bench::Json::object();
+    cr["scheme"] = codec::scheme_name(s);
+    cr["bytes_per_posting"] = bpe;
+    cr["analytic_crossover_ratio"] = cross;
+    codec_rows.push_back(std::move(cr));
+  }
+  std::printf("(serial-fallback codecs shift the balance toward the CPU: the "
+              "GPU pays their per-posting decode penalty.)\n");
+
   bench::Json root = bench::Json::object();
   root["bench"] = "crossover";
   root["fast_mode"] = bench::fast_mode();
@@ -250,6 +297,7 @@ int main() {
   root["crossover_group"] = crossover_group[0];
   root["pipelined_crossover_group"] = pipelined_crossover_group;
   root["presets"] = std::move(preset_rows);
+  root["codec_crossover"] = std::move(codec_rows);
   bench::write_bench_json("crossover", root);
   return 0;
 }

@@ -1,10 +1,18 @@
 // google-benchmark wall-clock microbenchmarks of the host-side library
-// primitives (encode/decode throughput, intersections, MergePath search).
-// Unlike the figure benches — which report *simulated* time on the modeled
-// K20 testbed — these measure this library's real speed on the build host.
+// primitives (encode/decode throughput across the codec zoo, adaptive
+// selection, intersections). Unlike the figure benches — which report
+// *simulated* time on the modeled K20 testbed — these measure this
+// library's real speed on the build host. A custom reporter mirrors every
+// run into BENCH_microbench_codecs.json.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
 #include "codec/block_codec.h"
+#include "codec/codec.h"
 #include "cpu/intersect.h"
 #include "util/rng.h"
 #include "workload/corpus.h"
@@ -19,30 +27,18 @@ std::vector<codec::DocId> docs_for(std::uint64_t n) {
       n, static_cast<codec::DocId>(n * 32), rng);
 }
 
-void BM_EncodePFor(benchmark::State& state) {
+void encode_bench(benchmark::State& state, codec::Scheme scheme) {
   const auto docs = docs_for(state.range(0));
   for (auto _ : state) {
-    auto list = codec::BlockCompressedList::build(
-        docs, codec::Scheme::kPForDelta);
+    auto list = codec::BlockCompressedList::build(docs, scheme);
     benchmark::DoNotOptimize(list);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
-void BM_EncodeEF(benchmark::State& state) {
+void decode_bench(benchmark::State& state, codec::Scheme scheme) {
   const auto docs = docs_for(state.range(0));
-  for (auto _ : state) {
-    auto list = codec::BlockCompressedList::build(
-        docs, codec::Scheme::kEliasFano);
-    benchmark::DoNotOptimize(list);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-
-void BM_DecodePFor(benchmark::State& state) {
-  const auto docs = docs_for(state.range(0));
-  const auto list = codec::BlockCompressedList::build(
-      docs, codec::Scheme::kPForDelta);
+  const auto list = codec::BlockCompressedList::build(docs, scheme);
   std::vector<codec::DocId> out;
   for (auto _ : state) {
     list.decode_all(out);
@@ -51,14 +47,36 @@ void BM_DecodePFor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
-void BM_DecodeEF(benchmark::State& state) {
+void BM_EncodePFor(benchmark::State& s) {
+  encode_bench(s, codec::Scheme::kPForDelta);
+}
+void BM_EncodeEF(benchmark::State& s) {
+  encode_bench(s, codec::Scheme::kEliasFano);
+}
+void BM_EncodeBP128(benchmark::State& s) {
+  encode_bench(s, codec::Scheme::kBitPack128);
+}
+void BM_EncodeRePair(benchmark::State& s) {
+  encode_bench(s, codec::Scheme::kRePair);
+}
+void BM_DecodePFor(benchmark::State& s) {
+  decode_bench(s, codec::Scheme::kPForDelta);
+}
+void BM_DecodeEF(benchmark::State& s) {
+  decode_bench(s, codec::Scheme::kEliasFano);
+}
+void BM_DecodeBP128(benchmark::State& s) {
+  decode_bench(s, codec::Scheme::kBitPack128);
+}
+void BM_DecodeRePair(benchmark::State& s) {
+  decode_bench(s, codec::Scheme::kRePair);
+}
+
+void BM_SelectScheme(benchmark::State& state) {
   const auto docs = docs_for(state.range(0));
-  const auto list = codec::BlockCompressedList::build(
-      docs, codec::Scheme::kEliasFano);
-  std::vector<codec::DocId> out;
   for (auto _ : state) {
-    list.decode_all(out);
-    benchmark::DoNotOptimize(out.data());
+    const codec::Scheme s = codec::select_scheme(docs);
+    benchmark::DoNotOptimize(s);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -99,11 +117,55 @@ void BM_SkipIntersect(benchmark::State& state) {
 
 BENCHMARK(BM_EncodePFor)->Arg(1 << 14)->Arg(1 << 18);
 BENCHMARK(BM_EncodeEF)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_EncodeBP128)->Arg(1 << 14)->Arg(1 << 18);
+// Re-Pair's greedy pairing is the one super-linear encoder; keep its sizes
+// below the bit-packers' so the bench stays a microbench.
+BENCHMARK(BM_EncodeRePair)->Arg(1 << 12)->Arg(1 << 14);
 BENCHMARK(BM_DecodePFor)->Arg(1 << 14)->Arg(1 << 18);
 BENCHMARK(BM_DecodeEF)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_DecodeBP128)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_DecodeRePair)->Arg(1 << 12)->Arg(1 << 14);
+BENCHMARK(BM_SelectScheme)->Arg(1 << 14)->Arg(1 << 18);
 BENCHMARK(BM_MergeIntersect)->Arg(1 << 16)->Arg(1 << 20);
 BENCHMARK(BM_SkipIntersect)->Arg(1 << 18)->Arg(1 << 21);
 
+/// Console output as usual, plus every run mirrored into a JSON array so
+/// write_bench_json can emit the BENCH_microbench_codecs.json artifact.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      auto row = bench::Json::object();
+      row["name"] = r.benchmark_name();
+      row["real_time_ns"] = r.GetAdjustedRealTime();
+      row["cpu_time_ns"] = r.GetAdjustedCPUTime();
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) {
+        row["items_per_second"] = static_cast<double>(it->second);
+      }
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  bench::Json take_rows() { return std::move(rows_); }
+
+ private:
+  bench::Json rows_ = bench::Json::array();
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  auto root = bench::Json::object();
+  root["bench"] = "microbench_codecs";
+  root["runs"] = reporter.take_rows();
+  bench::write_bench_json("microbench_codecs", root);
+  return 0;
+}

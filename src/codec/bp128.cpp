@@ -1,0 +1,46 @@
+#include "codec/bp128.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace griffin::codec {
+
+std::uint8_t bp128_bit_width(std::span<const std::uint32_t> values) {
+  std::uint32_t max = 0;
+  for (std::uint32_t v : values) max = std::max(max, v);
+  return max == 0 ? 0 : static_cast<std::uint8_t>(util::floor_log2(max) + 1);
+}
+
+std::uint8_t bp128_encode(std::span<const std::uint32_t> values,
+                          std::vector<std::uint64_t>& blob,
+                          std::uint64_t& bit_pos) {
+  const std::uint8_t b = bp128_bit_width(values);
+  if (b == 0) return 0;
+  const std::uint64_t end_bits = bit_pos + values.size() * b;
+  blob.resize(
+      std::max<std::size_t>(blob.size(), util::words_for_bits(end_bits)), 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    util::write_bits(blob.data(), bit_pos + i * b, b, values[i]);
+  }
+  bit_pos = end_bits;
+  return b;
+}
+
+void bp128_decode(std::span<const std::uint64_t> blob, std::uint64_t bit_pos,
+                  std::uint32_t count, std::uint8_t b, std::uint32_t* out) {
+  if (b == 0) {
+    std::fill_n(out, count, 0u);
+    return;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t at = bit_pos + static_cast<std::uint64_t>(i) * b;
+    out[i] = static_cast<std::uint32_t>(util::read_bits(blob.data(), at, b));
+  }
+}
+
+std::uint64_t bp128_encoded_bits(std::span<const std::uint32_t> values) {
+  return values.size() * static_cast<std::uint64_t>(bp128_bit_width(values));
+}
+
+}  // namespace griffin::codec

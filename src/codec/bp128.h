@@ -1,0 +1,34 @@
+// SIMD-BP128-style fixed-width bit packing (Lemire, Boytsov & Kurz, "SIMD
+// Compression and the Intersection of Sorted Integers", PAPERS.md): every
+// value of a block packs into b bits where b is the block's maximum bit
+// width. No exceptions, no patching — the decoder is a branch-free shift/
+// mask loop, which is exactly the shape the vectorized unpack in
+// cpu/simd_cost.h (kUnpackOps) and a warp-wide GPU kernel want. The price is
+// ratio: one outlier gap widens every slot in its block.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace griffin::codec {
+
+/// Slot width for a value set: the bit width of the largest value (0 when
+/// all values are zero or the set is empty — nothing is stored).
+std::uint8_t bp128_bit_width(std::span<const std::uint32_t> values);
+
+/// Packs `values` at the block-max width starting at bit `bit_pos` of `blob`
+/// (blob grows as needed; bits at and beyond bit_pos must be zero). Advances
+/// bit_pos. Returns the slot width b.
+std::uint8_t bp128_encode(std::span<const std::uint32_t> values,
+                          std::vector<std::uint64_t>& blob,
+                          std::uint64_t& bit_pos);
+
+/// Decodes `count` values packed at bit_pos with slot width b.
+void bp128_decode(std::span<const std::uint64_t> blob, std::uint64_t bit_pos,
+                  std::uint32_t count, std::uint8_t b, std::uint32_t* out);
+
+/// Exact bit count bp128_encode will consume.
+std::uint64_t bp128_encoded_bits(std::span<const std::uint32_t> values);
+
+}  // namespace griffin::codec

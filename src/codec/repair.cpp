@@ -1,0 +1,158 @@
+#include "codec/repair.h"
+
+#include <map>
+
+#include "util/bits.h"
+
+namespace griffin::codec {
+
+std::uint8_t RePairGrammar::symbol_bits() const {
+  const std::uint32_t n = num_symbols();
+  return n <= 1 ? 0 : static_cast<std::uint8_t>(util::ceil_log2(n));
+}
+
+RePairGrammar repair_build(std::span<const std::uint32_t> values) {
+  RePairGrammar g;
+  // Terminals in first-seen order — position-independent of the value range,
+  // so the grammar (and the encoding) is a pure function of the input.
+  std::map<std::uint32_t, std::uint32_t> term_id;
+  g.seq.reserve(values.size());
+  for (std::uint32_t v : values) {
+    auto [it, inserted] = term_id.try_emplace(
+        v, static_cast<std::uint32_t>(g.dict.size()));
+    if (inserted) g.dict.push_back(v);
+    g.seq.push_back(it->second);
+  }
+
+  using Pair = std::pair<std::uint32_t, std::uint32_t>;
+  // A rule id must fit the packed symbol space alongside the terminals and
+  // the header's 16-bit rule count.
+  const std::size_t max_rules = 0xFFFF;
+  while (g.rules.size() < max_rules && g.seq.size() >= 2) {
+    // Count non-overlapping adjacent pairs (left to right, as replacement
+    // will walk them); an ordered map keeps the tie-break deterministic.
+    std::map<Pair, std::uint32_t> counts;
+    std::map<Pair, std::size_t> last_use;
+    for (std::size_t i = 0; i + 1 < g.seq.size(); ++i) {
+      const Pair p{g.seq[i], g.seq[i + 1]};
+      auto lu = last_use.find(p);
+      if (lu != last_use.end() && lu->second + 1 == i) continue;  // overlap
+      ++counts[p];
+      last_use[p] = i;
+    }
+    const Pair* best = nullptr;
+    std::uint32_t best_count = 1;
+    for (const auto& [p, c] : counts) {
+      if (c > best_count) {
+        best = &p;
+        best_count = c;
+      }
+    }
+    if (best == nullptr) break;  // nothing repeats: grammar is final
+
+    const std::uint32_t fresh = g.num_symbols();
+    const Pair p = *best;
+    g.rules.push_back(p);
+    std::vector<std::uint32_t> next;
+    next.reserve(g.seq.size());
+    for (std::size_t i = 0; i < g.seq.size();) {
+      if (i + 1 < g.seq.size() && g.seq[i] == p.first &&
+          g.seq[i + 1] == p.second) {
+        next.push_back(fresh);
+        i += 2;
+      } else {
+        next.push_back(g.seq[i]);
+        ++i;
+      }
+    }
+    g.seq = std::move(next);
+  }
+  return g;
+}
+
+RePairGrammar repair_encode(std::span<const std::uint32_t> values,
+                            std::vector<std::uint64_t>& blob,
+                            std::uint64_t& bit_pos) {
+  RePairGrammar g = repair_build(values);
+  const std::uint8_t b = g.symbol_bits();
+  const std::uint64_t end_bits =
+      bit_pos + 32ull * g.dict.size() +
+      static_cast<std::uint64_t>(b) * (2 * g.rules.size() + g.seq.size());
+  blob.resize(
+      std::max<std::size_t>(blob.size(), util::words_for_bits(end_bits)), 0);
+  std::uint64_t pos = bit_pos;
+  for (std::uint32_t v : g.dict) {
+    util::write_bits(blob.data(), pos, 32, v);
+    pos += 32;
+  }
+  if (b > 0) {
+    for (const auto& [l, r] : g.rules) {
+      util::write_bits(blob.data(), pos, b, l);
+      pos += b;
+      util::write_bits(blob.data(), pos, b, r);
+      pos += b;
+    }
+    for (std::uint32_t s : g.seq) {
+      util::write_bits(blob.data(), pos, b, s);
+      pos += b;
+    }
+  }
+  bit_pos = end_bits;
+  return g;
+}
+
+void repair_decode(std::span<const std::uint64_t> blob, std::uint64_t bit_pos,
+                   std::uint32_t count, std::uint32_t n_dict,
+                   std::uint16_t n_rules, std::uint16_t n_seq,
+                   std::uint32_t* out) {
+  if (count == 0) return;
+  std::uint32_t dict[1 << 12];
+  std::pair<std::uint32_t, std::uint32_t> rules[1 << 12];
+  std::uint64_t pos = bit_pos;
+  for (std::uint32_t i = 0; i < n_dict; ++i) {
+    dict[i] = static_cast<std::uint32_t>(util::read_bits(blob.data(), pos, 32));
+    pos += 32;
+  }
+  const std::uint32_t n_sym = n_dict + n_rules;
+  const std::uint8_t b =
+      n_sym <= 1 ? 0 : static_cast<std::uint8_t>(util::ceil_log2(n_sym));
+  for (std::uint32_t r = 0; r < n_rules; ++r) {
+    rules[r].first =
+        static_cast<std::uint32_t>(util::read_bits(blob.data(), pos, b));
+    pos += b;
+    rules[r].second =
+        static_cast<std::uint32_t>(util::read_bits(blob.data(), pos, b));
+    pos += b;
+  }
+  std::uint32_t n = 0;
+  // Expansion depth is at most n_rules + 1, and a block of up to 2^12 gaps
+  // admits fewer than 2^11 rules (each needs two occurrences).
+  std::uint32_t stack[1 << 12];
+  for (std::uint16_t i = 0; i < n_seq; ++i) {
+    std::uint32_t sym = b == 0 ? 0
+                               : static_cast<std::uint32_t>(util::read_bits(
+                                     blob.data(), pos, b));
+    pos += b;
+    int top = 0;
+    stack[top++] = sym;
+    while (top > 0) {
+      sym = stack[--top];
+      if (sym < n_dict) {
+        out[n++] = dict[sym];
+      } else {
+        const auto& [l, r] = rules[sym - n_dict];
+        stack[top++] = r;  // right expands after left
+        stack[top++] = l;
+      }
+    }
+  }
+}
+
+std::uint64_t repair_encoded_bits(std::span<const std::uint32_t> values) {
+  const RePairGrammar g = repair_build(values);
+  return 32ull * g.dict.size() +
+         static_cast<std::uint64_t>(g.symbol_bits()) *
+             (2 * g.rules.size() + g.seq.size());
+}
+
+}  // namespace griffin::codec

@@ -1,0 +1,58 @@
+// Re-Pair grammar compression of a block's d-gaps (Larsson & Moffat's
+// recursive pairing, applied to posting lists by Claude, Fariña & Navarro,
+// PAPERS.md): repeatedly replace the most frequent adjacent symbol pair with
+// a fresh nonterminal until no pair repeats. Highly repetitive gap patterns
+// (crawl batches, mirrored sites, synthetic strides) collapse into a few
+// grammar rules, so the encoded sequence shrinks far below the entropy of
+// the raw gaps; random lists gain nothing and pay the dictionary overhead.
+// Decoding expands the grammar — data-dependent and pointer-chasing, so it
+// stays scalar on the CPU and mostly-divergent on the GPU (the cost models
+// charge it that way).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace griffin::codec {
+
+/// A Re-Pair grammar for one value sequence. Symbol ids: terminals are
+/// [0, dict.size()) and index `dict`; nonterminal n is dict.size() + r and
+/// expands to rules[r].first then rules[r].second.
+struct RePairGrammar {
+  std::vector<std::uint32_t> dict;  ///< distinct values, first-seen order
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rules;
+  std::vector<std::uint32_t> seq;  ///< compressed top-level sequence
+
+  std::uint32_t num_symbols() const {
+    return static_cast<std::uint32_t>(dict.size() + rules.size());
+  }
+  /// Bits per packed symbol (0 when the grammar has at most one symbol).
+  std::uint8_t symbol_bits() const;
+};
+
+/// Builds the grammar deterministically: greedy most-frequent pair, ties
+/// broken toward the lexicographically smallest (left, right) symbol pair,
+/// occurrences replaced left to right without overlap.
+RePairGrammar repair_build(std::span<const std::uint32_t> values);
+
+/// Encodes `values` starting at bit `bit_pos` of `blob` (append style: bits
+/// at and beyond bit_pos must be zero); advances bit_pos. Layout:
+/// [dict: n_dict x 32b][rules: n_rules x 2 x b bits][seq: n_seq x b bits].
+/// Returns the grammar (its sizes go into the block header).
+RePairGrammar repair_encode(std::span<const std::uint32_t> values,
+                            std::vector<std::uint64_t>& blob,
+                            std::uint64_t& bit_pos);
+
+/// Decodes `count` values from a grammar encoded at bit_pos with the given
+/// sizes. `out` must have room for count values.
+void repair_decode(std::span<const std::uint64_t> blob, std::uint64_t bit_pos,
+                   std::uint32_t count, std::uint32_t n_dict,
+                   std::uint16_t n_rules, std::uint16_t n_seq,
+                   std::uint32_t* out);
+
+/// Exact bit count repair_encode will consume (builds the grammar).
+std::uint64_t repair_encoded_bits(std::span<const std::uint32_t> values);
+
+}  // namespace griffin::codec

@@ -10,6 +10,7 @@ StepShape Planner::shape_for(std::uint64_t shorter, index::TermId longer_term,
   s.shorter = shorter;
   s.longer = idx_->list(longer_term).size();
   s.longer_bytes = idx_->list(longer_term).docids.compressed_bytes();
+  s.longer_scheme = idx_->list(longer_term).docids.scheme();
   // Residency bits from the two cache tiers: cold caches leave both false,
   // so the first queries decide exactly as the paper's rule does.
   s.longer_device_resident = probe_->device_resident(longer_term);

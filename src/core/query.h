@@ -53,6 +53,10 @@ struct StepShape {
   std::uint64_t shorter = 0;       ///< current intermediate (or short list)
   std::uint64_t longer = 0;        ///< next posting list length
   std::uint64_t longer_bytes = 0;  ///< its compressed payload bytes
+  /// The long list's compression scheme: the cost model prices the CPU
+  /// decode through the per-codec lane model and charges the GPU a decode
+  /// penalty for codecs with no lane-parallel kernel (gpu/decode.h).
+  codec::Scheme longer_scheme = codec::Scheme::kEliasFano;
   /// Long list already resident in the GPU's list cache (no H2D transfer).
   bool longer_device_resident = false;
   /// Long list already decoded in the host cache (no CPU decode work).

@@ -7,6 +7,32 @@
 
 namespace griffin::core {
 
+namespace {
+
+/// GPU decode penalty per posting (ns) on top of the memory-traffic term:
+/// zero for the codecs with fully lane-parallel kernels, small for
+/// PForDelta's serial exception walk, and large for the codecs gpu/decode.h
+/// can only run on lane 0 (the rest of the warp idles) or that chase
+/// grammar pointers divergently (Re-Pair).
+double gpu_decode_penalty_ns(codec::Scheme s) {
+  switch (s) {
+    case codec::Scheme::kEliasFano:
+    case codec::Scheme::kBitPack128:
+      return 0.0;
+    case codec::Scheme::kPForDelta:
+      return 0.05;
+    case codec::Scheme::kRePair:
+      return 1.2;
+    case codec::Scheme::kSimple16:
+      return 0.8;
+    case codec::Scheme::kVarByte:
+      return 1.5;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
 Placement Scheduler::decide(const StepShape& s) const {
   switch (opt_.policy) {
     case SchedulerPolicy::kAlwaysCpu:
@@ -71,13 +97,14 @@ sim::Duration Scheduler::estimate_cpu(const StepShape& s) const {
         nblocks * (1.0 - std::exp(-probes / std::max(nblocks, 1.0)));
     cycles = probes * cpu::simd::effective_probe_search_cycles(c, steps);
     if (!host_decoded) {
-      cycles += touched * 128.0 * cpu::simd::effective_ef_decode_cycles(c);
+      cycles += touched * 128.0 *
+                cpu::simd::effective_decode_cycles(c, s.longer_scheme);
     }
   } else {
     // Full decode + merge; a host-decoded long list merges without decode.
     cycles = (ns + nl) * cpu::simd::effective_merge_step_cycles(c);
     if (!host_decoded) {
-      cycles += nl * cpu::simd::effective_pfor_decode_cycles(c);
+      cycles += nl * cpu::simd::effective_decode_cycles(c, s.longer_scheme);
     }
   }
   sim::Duration t = sim::Duration::from_cycles(cycles, c.clock_ghz);
@@ -120,16 +147,23 @@ sim::Duration Scheduler::estimate_gpu(const StepShape& s) const {
     const sim::Duration mem =
         sim::Duration::from_ns(touched_bytes / g.mem_bandwidth_gbps);
     t += opt_.overlap_aware ? sim::max(xfer, mem) : xfer + mem;
+    t += sim::Duration::from_ns(nl * gpu_decode_penalty_ns(s.longer_scheme));
   } else {
-    // Only candidate blocks move and decode.
+    // Only candidate blocks move and decode; the transfer term uses the
+    // list's actual compressed density, not a fixed bytes-per-posting
+    // guess (falls back to ~1 B/elem when the planner left bytes unset).
     const double blocks = std::min(ns, nl / 128.0);
+    const double bpe =
+        s.longer_bytes > 0 ? static_cast<double>(s.longer_bytes) / nl : 1.0;
     if (!resident) {
       t += sim::Duration::from_us(hw_.pcie.latency_us) +
-           sim::Duration::from_ns(blocks * 128.0 /
-                                  hw_.pcie.bandwidth_gbps);  // ~1 B/elem
+           sim::Duration::from_ns(blocks * 128.0 * bpe /
+                                  hw_.pcie.bandwidth_gbps);
     }
     t += sim::Duration::from_ns(ns * std::log2(std::max(nl / 128.0, 2.0)) *
                                 128.0 / g.mem_bandwidth_gbps);
+    t += sim::Duration::from_ns(blocks * 128.0 *
+                                gpu_decode_penalty_ns(s.longer_scheme));
   }
   // Migration: intermediate currently on the CPU must be shipped over.
   if (s.current_location == Placement::kCpu) {

@@ -5,17 +5,6 @@
 namespace griffin::cpu {
 
 namespace {
-/// Modeled per-element VByte decode cost (branchy byte loop).
-constexpr double kVByteCycles = 3.5;
-/// Simple16 unpacks ~a word of values per switch dispatch: very fast.
-constexpr double kSimple16Cycles = 1.8;
-/// SIMD VByte (masked-shuffle varint decode): per vector iteration, the
-/// length mask gathers into one lookup shuffle; a per-element scalar
-/// residue covers the control-byte bookkeeping.
-constexpr double kVByteSimdOps = 2.0;
-constexpr double kVByteSimdShuffles = 3.0;
-constexpr double kVByteSimdResidueCycles = 1.0;
-
 /// Vector-mode charges for one cache-hot block decode of `m` under the
 /// lane-accounting model (cpu/simd_cost.h). Bit-identical output — the
 /// functional decode below is shared with the scalar path.
@@ -28,7 +17,7 @@ void charge_block_simd(const codec::BlockMeta& m, codec::Scheme scheme,
       // exception patch chain stays scalar (data-dependent branches).
       simd::charge_loop(acc, n, simd::kUnpackOps + simd::kDeltaOps,
                         simd::kDeltaShuffles);
-      acc.pfor_exceptions(m.pfor.n_exceptions);
+      acc.pfor_exceptions(m.hdr.pfor().n_exceptions);
       break;
     case codec::Scheme::kEliasFano:
       // The unary high-bits scan stays word-serial; the packed lower bits
@@ -38,12 +27,22 @@ void charge_block_simd(const codec::BlockMeta& m, codec::Scheme scheme,
                         simd::kDeltaShuffles);
       break;
     case codec::Scheme::kVarByte:
-      simd::charge_loop(acc, n, kVByteSimdOps, kVByteSimdShuffles);
-      acc.add_cycles(kVByteSimdResidueCycles * static_cast<double>(n));
+      simd::charge_loop(acc, n, simd::kVByteSimdOps, simd::kVByteSimdShuffles);
+      acc.add_cycles(simd::kVByteSimdResidueCycles * static_cast<double>(n));
       break;
     case codec::Scheme::kSimple16:
       // Selector-switch dispatch is not lane-parallel: scalar either way.
-      acc.add_cycles(kSimple16Cycles * static_cast<double>(n));
+      acc.add_cycles(simd::kSimple16ScalarCycles * static_cast<double>(n));
+      break;
+    case codec::Scheme::kBitPack128:
+      // PForDelta's fast path with the exception patching deleted — the
+      // codec the vector unit likes best.
+      simd::charge_loop(acc, n, simd::kUnpackOps + simd::kDeltaOps,
+                        simd::kDeltaShuffles);
+      break;
+    case codec::Scheme::kRePair:
+      // Grammar expansion is pointer chasing: scalar in both modes.
+      acc.add_cycles(simd::kRePairExpandCycles * static_cast<double>(n));
       break;
   }
 }
@@ -68,16 +67,24 @@ std::uint32_t decode_block(const BlockCompressedList& list, std::size_t b,
     switch (list.scheme()) {
       case codec::Scheme::kPForDelta:
         acc.pfor_regulars(m.count > 0 ? m.count - 1u : 0u);
-        acc.pfor_exceptions(m.pfor.n_exceptions);
+        acc.pfor_exceptions(m.hdr.pfor().n_exceptions);
         break;
       case codec::Scheme::kEliasFano:
         acc.ef_elements(m.count);
         break;
       case codec::Scheme::kVarByte:
-        acc.add_cycles(kVByteCycles * m.count);
+        acc.add_cycles(simd::kVByteScalarCycles * m.count);
         break;
       case codec::Scheme::kSimple16:
-        acc.add_cycles(kSimple16Cycles * m.count);
+        acc.add_cycles(simd::kSimple16ScalarCycles * m.count);
+        break;
+      case codec::Scheme::kBitPack128:
+        // Same slot-unpack + delta work as PForDelta's regulars, and by
+        // construction no exceptions.
+        acc.pfor_regulars(m.count > 0 ? m.count - 1u : 0u);
+        break;
+      case codec::Scheme::kRePair:
+        acc.add_cycles(simd::kRePairExpandCycles * m.count);
         break;
     }
   }

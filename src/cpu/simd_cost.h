@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "codec/block_codec.h"
 #include "sim/cpu_cost_model.h"
 #include "sim/hardware_spec.h"
 #include "util/bits.h"
@@ -63,6 +64,25 @@ inline constexpr double kMergeFixedOps = 4.0;  ///< loads + movemask + store
 /// are replaced by a branchless compare of one lanes-wide vector window...
 inline constexpr double kSearchWindowOps = 2.0;      ///< cmp + movemask
 inline constexpr double kSearchWindowShuffles = 1.0; ///< broadcast the key
+// ---- Per-codec scalar/SIMD decode constants (codec zoo) ----
+// The block-decode cost of each scheme, shared by cpu/decode.cpp's charges
+// and the scheduler's per-codec estimates (effective_decode_cycles below).
+
+/// Modeled per-element scalar VByte decode cost (branchy byte loop).
+inline constexpr double kVByteScalarCycles = 3.5;
+/// Simple16 unpacks ~a word of values per switch dispatch: very fast.
+inline constexpr double kSimple16ScalarCycles = 1.8;
+/// SIMD VByte (masked-shuffle varint decode): per vector iteration, the
+/// length mask gathers into one lookup shuffle; a per-element scalar residue
+/// covers the control-byte bookkeeping.
+inline constexpr double kVByteSimdOps = 2.0;
+inline constexpr double kVByteSimdShuffles = 3.0;
+inline constexpr double kVByteSimdResidueCycles = 1.0;
+/// Re-Pair grammar expansion: per output element, a stack pop, a
+/// terminal/nonterminal branch, and a data-dependent rule fetch. Pointer
+/// chasing — it does not vectorize, so the cost is mode-independent.
+inline constexpr double kRePairExpandCycles = 2.5;
+
 /// ...which absorbs ceil(log2(lanes)) branchy levels per probe.
 inline int search_levels_absorbed(const sim::CpuVectorSpec& v) {
   return static_cast<int>(
@@ -143,6 +163,39 @@ inline double effective_materialize_cycles(const sim::CpuSpec& s) {
   if (!enabled(s)) return s.decode_materialize_cycles;
   return kMaterializeResidueCycles +
          iter_cycles(s.vector, kStoreOps, 0.0) / s.vector.lanes;
+}
+
+/// Cache-hot BP128 block decode, per element: the same slot-unpack +
+/// vectorized delta as PForDelta's regular path, with no exception patching
+/// at all — the codec exists to hit exactly this fast path.
+inline double effective_bp128_decode_cycles(const sim::CpuSpec& s) {
+  if (!enabled(s)) return s.pfor_decode_cycles;
+  return iter_cycles(s.vector, kUnpackOps + kDeltaOps, kDeltaShuffles) /
+         s.vector.lanes;
+}
+
+/// Cache-hot VByte block decode, per element.
+inline double effective_vbyte_decode_cycles(const sim::CpuSpec& s) {
+  if (!enabled(s)) return kVByteScalarCycles;
+  return kVByteSimdResidueCycles +
+         iter_cycles(s.vector, kVByteSimdOps, kVByteSimdShuffles) /
+             s.vector.lanes;
+}
+
+/// Cache-hot per-element block decode cost of `scheme` — the codec-aware
+/// closed form the scheduler prices decode terms through. Matches the charge
+/// switches in cpu/decode.cpp scheme for scheme.
+inline double effective_decode_cycles(const sim::CpuSpec& s,
+                                      codec::Scheme scheme) {
+  switch (scheme) {
+    case codec::Scheme::kPForDelta: return effective_pfor_decode_cycles(s);
+    case codec::Scheme::kEliasFano: return effective_ef_decode_cycles(s);
+    case codec::Scheme::kVarByte: return effective_vbyte_decode_cycles(s);
+    case codec::Scheme::kSimple16: return kSimple16ScalarCycles;
+    case codec::Scheme::kBitPack128: return effective_bp128_decode_cycles(s);
+    case codec::Scheme::kRePair: return kRePairExpandCycles;
+  }
+  return effective_ef_decode_cycles(s);
 }
 
 /// One two-pointer merge advance (compare + advance + conditional emit).

@@ -2,7 +2,7 @@
 
 #include <cassert>
 
-#include "gpu/ef_decode.h"
+#include "gpu/decode.h"
 #include "simt/collectives.h"
 #include "util/bits.h"
 
@@ -102,7 +102,7 @@ GpuIntersectResult binary_search_intersect(simt::Device& dev,
   dev.upload(slots_dev, std::span<const std::uint32_t>(slot_of_block));
   ledger.add_transfer(link, nb * 4, true);
 
-  sim::KernelStats dec = ef_decode_selected(dev, target, ids_dev, ids, decoded);
+  sim::KernelStats dec = decode_selected(dev, target, ids_dev, ids, decoded);
   res.stats.merge(dec);
   ++res.kernels;
 

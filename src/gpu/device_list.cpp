@@ -20,11 +20,7 @@ DeviceList upload_list(simt::Device& dev, const codec::BlockCompressedList& list
     b.last = m.last;
     b.bit_offset = m.bit_offset;
     b.count = m.count;
-    b.ef_b = m.ef.b;
-    b.hb_words = m.ef.hb_words;
-    b.pfor_b = m.pfor.b;
-    b.pfor_n_exceptions = m.pfor.n_exceptions;
-    b.pfor_first_exception = m.pfor.first_exception;
+    b.hdr = m.hdr;
     b.out_offset = offset;
     offset += m.count;
     d.host_descs.push_back(b);

@@ -17,17 +17,15 @@ namespace griffin::gpu {
 
 using codec::DocId;
 
-/// POD per-block descriptor as laid out in device memory.
+/// POD per-block descriptor as laid out in device memory: the skip entry
+/// plus the tagged per-scheme header, so any codec's kernel decodes a block
+/// from (desc, blob) alone.
 struct BlockDesc {
   std::uint32_t first = 0;
   std::uint32_t last = 0;
   std::uint64_t bit_offset = 0;
   std::uint16_t count = 0;
-  std::uint8_t ef_b = 0;
-  std::uint8_t pfor_b = 0;
-  std::uint32_t hb_words = 0;
-  std::uint16_t pfor_n_exceptions = 0;
-  std::uint16_t pfor_first_exception = 0;
+  codec::BlockHeader hdr;
   /// Exclusive prefix of counts: position of the block's first posting.
   std::uint64_t out_offset = 0;
 };

@@ -2,12 +2,13 @@
 
 #include <cassert>
 
+#include "gpu/decode.h"
 #include "simt/collectives.h"
 #include "util/bits.h"
 
 namespace griffin::gpu {
 
-namespace {
+namespace detail {
 
 /// Decodes one posting block inside one SIMT block (Algorithm 1).
 /// `out_pos` is the absolute output position of the block's first element.
@@ -15,11 +16,12 @@ void ef_decode_one_block(simt::Block& blk, const DeviceList& list,
                          const BlockDesc& d, std::uint64_t desc_index,
                          simt::DeviceBuffer<DocId>& out,
                          std::uint64_t out_pos) {
+  const codec::EFHeader eh = d.hdr.ef();
   const std::uint64_t hb_start = d.bit_offset;
-  const std::uint64_t low_start = hb_start + 32ull * d.hb_words;
-  assert(d.hb_words <= blk.dim());
+  const std::uint64_t low_start = hb_start + 32ull * eh.hb_words;
+  assert(eh.hb_words <= blk.dim());
 
-  auto ps = blk.shared<std::uint32_t>(d.hb_words);
+  auto ps = blk.shared<std::uint32_t>(eh.hb_words);
   auto index_arr = blk.shared<std::uint32_t>(d.count);
 
   // Lane 0 fetches the block descriptor from global memory (the control
@@ -30,7 +32,7 @@ void ef_decode_one_block(simt::Block& blk, const DeviceList& list,
 
   // Phase 1: per-word popcount (Algorithm 1 line 2).
   blk.for_each_thread([&](simt::Thread& t) {
-    if (t.tid() >= d.hb_words) return;
+    if (t.tid() >= eh.hb_words) return;
     const auto word = static_cast<std::uint32_t>(
         load_bits(t, list.blob, hb_start + 32ull * t.tid(), 32));
     t.sstore(std::span<std::uint32_t>(ps), t.tid(),
@@ -43,7 +45,7 @@ void ef_decode_one_block(simt::Block& blk, const DeviceList& list,
   // Phase 3: scheduling — each word's thread scatters its element slots
   // (lines 4-8).
   blk.for_each_thread([&](simt::Thread& t) {
-    if (t.tid() >= d.hb_words) return;
+    if (t.tid() >= eh.hb_words) return;
     const std::uint32_t begin =
         t.tid() == 0
             ? 0
@@ -72,17 +74,17 @@ void ef_decode_one_block(simt::Block& blk, const DeviceList& list,
     const std::uint64_t pos = 32ull * w + static_cast<std::uint32_t>(bit);
     const std::uint64_t high = pos - t.tid();
     std::uint64_t low = 0;
-    if (d.ef_b > 0) {
+    if (eh.b > 0) {
       low = load_bits(t, list.blob,
-                      low_start + static_cast<std::uint64_t>(t.tid()) * d.ef_b,
-                      d.ef_b);
+                      low_start + static_cast<std::uint64_t>(t.tid()) * eh.b,
+                      eh.b);
     }
-    const DocId v = static_cast<DocId>(((high << d.ef_b) | low) + d.first);
+    const DocId v = static_cast<DocId>(((high << eh.b) | low) + d.first);
     t.store(out, out_pos + t.tid(), v);
   });
 }
 
-}  // namespace
+}  // namespace detail
 
 sim::KernelStats ef_decode_range(simt::Device& dev, const DeviceList& list,
                                  std::size_t lo, std::size_t hi,
@@ -96,8 +98,8 @@ sim::KernelStats ef_decode_range(simt::Device& dev, const DeviceList& list,
       [&](simt::Block& blk) {
         const std::size_t pb = lo + blk.block_id();
         const BlockDesc& d = list.host_descs[pb];
-        ef_decode_one_block(blk, list, d, pb, out,
-                            out_base + d.out_offset - first_off);
+        detail::ef_decode_one_block(blk, list, d, pb, out,
+                                    out_base + d.out_offset - first_off);
       });
 }
 
@@ -116,9 +118,9 @@ sim::KernelStats ef_decode_selected(simt::Device& dev, const DeviceList& list,
         });
         const std::uint32_t pb = ids[blk.block_id()];
         const BlockDesc& d = list.host_descs[pb];
-        ef_decode_one_block(blk, list, d, pb, out,
-                            static_cast<std::uint64_t>(blk.block_id()) *
-                                list.block_size);
+        detail::ef_decode_one_block(blk, list, d, pb, out,
+                                    static_cast<std::uint64_t>(blk.block_id()) *
+                                        list.block_size);
       });
 }
 

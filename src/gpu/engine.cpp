@@ -27,10 +27,7 @@ GpuExecutor::GpuExecutor(const index::InvertedIndex& idx, sim::HardwareSpec hw,
         sim::PcieSpec spec = hw.pcie;
         if (opt.pooled_memory) spec.alloc_us = 0.0;
         return pcie::Link(spec);
-      }()) {
-  assert(idx.scheme() == codec::Scheme::kEliasFano &&
-         "Griffin-GPU decodes with Para-EF; build the index with EF");
-}
+      }()) {}
 
 void GpuExecutor::begin_query(sim::Timeline* tl, std::uint64_t query_id,
                               sim::Duration release) {
@@ -225,7 +222,7 @@ simt::DeviceBuffer<DocId> GpuExecutor::decode_full_list(index::TermId t,
     // Hit / prefetched / serial mode: the payload is on the device already,
     // one kernel decodes it all.
     const sim::KernelStats s =
-        ef_decode_range(device_, dl, 0, dl.num_blocks(), out);
+        decode_range(device_, dl, 0, dl.num_blocks(), out);
     charge_kernel(s, &m.decode, m);
   } else {
     // Double buffering (DESIGN.md §10): group blocks into >= chunk-size
@@ -255,7 +252,7 @@ simt::DeviceBuffer<DocId> GpuExecutor::decode_full_list(index::TermId t,
       if (tl_ != nullptr) {
         chain_ = sim::Timeline::join(chain_, chunk.last_event());
       }
-      const sim::KernelStats s = ef_decode_range(
+      const sim::KernelStats s = decode_range(
           device_, dl, lo, hi, out, dl.host_descs[lo].out_offset);
       charge_kernel(s, &m.decode, m);
       lo = hi;

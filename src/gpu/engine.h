@@ -13,8 +13,8 @@
 #include "core/query.h"
 #include "cpu/bm25.h"
 #include "gpu/binary_intersect.h"
+#include "gpu/decode.h"
 #include "gpu/device_list.h"
-#include "gpu/ef_decode.h"
 #include "gpu/list_cache.h"
 #include "gpu/mergepath.h"
 #include "pcie/link.h"

@@ -11,12 +11,24 @@
 #include <vector>
 
 #include "codec/block_codec.h"
+#include "codec/codec.h"
 
 namespace griffin::index {
 
 using codec::DocId;
 using codec::Scheme;
 using TermId = std::uint32_t;
+
+/// How the index picks each list's compression scheme. The default is a
+/// single fixed scheme for every list (the pre-zoo behavior); with
+/// `adaptive` set, each list is routed through codec::select_scheme and
+/// `fixed` only names the index's headline scheme (reported by scheme(),
+/// used for lists the selector is never consulted about — there are none
+/// today, but deserialization keeps it meaningful).
+struct CodecPolicy {
+  Scheme fixed = Scheme::kEliasFano;
+  bool adaptive = false;
+};
 
 /// Per-document metadata. Lengths feed BM25's length normalization.
 class DocTable {
@@ -52,15 +64,29 @@ struct PostingList {
 class InvertedIndex {
  public:
   InvertedIndex(Scheme scheme, std::uint32_t block_size = codec::kDefaultBlockSize)
-      : scheme_(scheme), block_size_(block_size) {}
+      : policy_{scheme, false}, block_size_(block_size) {}
+  InvertedIndex(CodecPolicy policy,
+                std::uint32_t block_size = codec::kDefaultBlockSize)
+      : policy_(policy), block_size_(block_size) {}
 
-  Scheme scheme() const { return scheme_; }
+  /// The index's headline scheme (the fixed scheme; under an adaptive
+  /// policy individual lists may differ — ask list(t).docids.scheme()).
+  Scheme scheme() const { return policy_.fixed; }
+  const CodecPolicy& policy() const { return policy_; }
+  bool adaptive() const { return policy_.adaptive; }
   std::uint32_t block_size() const { return block_size_; }
 
   /// Adds a posting list for the next TermId; returns that id. `docids` must
-  /// be strictly increasing; freqs parallel (empty = all-1).
+  /// be strictly increasing; freqs parallel (empty = all-1). Under an
+  /// adaptive policy the list's scheme comes from codec::select_scheme.
   TermId add_list(std::span<const DocId> docids,
                   std::span<const std::uint32_t> freqs = {});
+
+  /// Adds a posting list compressed with an explicit scheme, bypassing the
+  /// policy (shard extraction preserving source schemes; forced-scheme
+  /// parity tests).
+  TermId add_list_as(Scheme scheme, std::span<const DocId> docids,
+                     std::span<const std::uint32_t> freqs = {});
 
   /// Adds an already-compressed list (deserialization path; index/io.h).
   TermId add_list_raw(PostingList&& pl) {
@@ -105,7 +131,7 @@ class InvertedIndex {
   }
 
  private:
-  Scheme scheme_;
+  CodecPolicy policy_;
   std::uint32_t block_size_;
   std::vector<PostingList> lists_;
   std::vector<std::uint64_t> df_override_;
@@ -119,7 +145,10 @@ class IndexBuilder {
  public:
   explicit IndexBuilder(Scheme scheme,
                         std::uint32_t block_size = codec::kDefaultBlockSize)
-      : scheme_(scheme), block_size_(block_size) {}
+      : policy_{scheme, false}, block_size_(block_size) {}
+  explicit IndexBuilder(CodecPolicy policy,
+                        std::uint32_t block_size = codec::kDefaultBlockSize)
+      : policy_(policy), block_size_(block_size) {}
 
   /// Registers a document given its bag of words as (term, tf) pairs.
   /// Length (token count) is the sum of tfs.
@@ -136,7 +165,7 @@ class IndexBuilder {
     std::vector<DocId> docs;
     std::vector<std::uint32_t> tfs;
   };
-  Scheme scheme_;
+  CodecPolicy policy_;
   std::uint32_t block_size_;
   std::vector<Accum> postings_;  // by TermId
   std::vector<std::uint32_t> doc_lengths_;

@@ -157,7 +157,8 @@ std::uint64_t list_size_for_rank(const CorpusConfig& cfg, std::uint32_t rank) {
 
 index::InvertedIndex generate_corpus(const CorpusConfig& cfg) {
   util::Xoshiro256 rng(cfg.seed);
-  index::InvertedIndex idx(cfg.scheme, cfg.block_size);
+  index::InvertedIndex idx(index::CodecPolicy{cfg.scheme, cfg.adaptive},
+                           cfg.block_size);
 
   // Document lengths: lognormal-ish around the configured mean. (Generated
   // independently of the posting draws — BM25 only needs the marginal.)

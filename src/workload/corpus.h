@@ -25,6 +25,9 @@ struct CorpusConfig {
   double zipf_s = 0.85;
   std::uint32_t min_list_size = 48;
   codec::Scheme scheme = codec::Scheme::kEliasFano;
+  /// Route each list through codec::select_scheme instead of compressing
+  /// everything with `scheme` (which stays the index's headline scheme).
+  bool adaptive = false;
   std::uint32_t block_size = codec::kDefaultBlockSize;
   std::uint64_t seed = 42;
   /// Mean document length for the (independent) BM25 length model.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "codec/codec.h"
 #include "engine_test_util.h"
 
 using namespace griffin;
@@ -73,11 +76,26 @@ TEST(GpuEngine, HighRatioQueryUsesBinaryPath) {
   testutil::expect_same_topk(res.topk, want, "gpu-high-ratio");
 }
 
-TEST(GpuEngine, RequiresEliasFanoIndex) {
+TEST(GpuEngine, HandlesEveryCodecScheme) {
+  // The device decode layer dispatches per list scheme, so the GPU engine
+  // no longer demands an EF index: every codec must produce the reference
+  // top-k (serial-fallback codecs just pay more simulated time).
   workload::CorpusConfig cfg = testutil::small_corpus_config();
   cfg.num_docs = 5000;
   cfg.num_terms = 20;
-  cfg.scheme = codec::Scheme::kPForDelta;
-  const auto pfor_idx = workload::generate_corpus(cfg);
-  EXPECT_DEATH({ gpu::GpuEngine engine(pfor_idx); (void)engine; }, "Para-EF");
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 10;
+  qcfg.seed = 33;
+  const auto log = workload::generate_query_log(qcfg, cfg.num_terms);
+  for (const codec::Scheme s : codec::all_schemes()) {
+    cfg.scheme = s;
+    const auto idx = workload::generate_corpus(cfg);
+    gpu::GpuEngine engine(idx);
+    for (const auto& q : log) {
+      const auto got = engine.execute(q);
+      const auto want = testutil::reference_topk(idx, q);
+      const std::string tag = std::string("gpu-") + codec::scheme_name(s);
+      testutil::expect_same_topk(got.topk, want, tag.c_str());
+    }
+  }
 }

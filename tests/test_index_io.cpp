@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "codec/codec.h"
+#include "util/rng.h"
 #include "workload/corpus.h"
 
 using namespace griffin;
@@ -59,6 +61,122 @@ TEST(IndexIO, PForSchemeRoundTrips) {
   idx.list(3).docids.decode_all(a);
   loaded.list(3).docids.decode_all(b);
   EXPECT_EQ(a, b);
+}
+
+TEST(IndexIO, MixedSchemeRoundTrip) {
+  // One list per codec (explicitly forced) plus one adaptively selected —
+  // the v3 format must preserve each list's own scheme and the index's
+  // adaptive policy flag.
+  index::InvertedIndex idx(index::CodecPolicy{codec::Scheme::kEliasFano, true});
+  util::Xoshiro256 rng(21);
+  for (const codec::Scheme s : codec::all_schemes()) {
+    const auto docs = workload::make_uniform_list(700, 40'000, rng);
+    const std::vector<std::uint32_t> freqs(docs.size(), 2);
+    idx.add_list_as(s, docs, freqs);
+  }
+  idx.add_list(workload::make_uniform_list(700, 40'000, rng));
+  idx.docs().resize(40'000);
+  for (index::DocId d = 0; d < 40'000; ++d) idx.docs().set_length(d, d % 7);
+
+  const std::string path = temp_path("griffin_test_index_mixed.bin");
+  index::save_index(idx, path);
+  const auto loaded = index::load_index(path);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(loaded.adaptive());
+  EXPECT_EQ(loaded.scheme(), codec::Scheme::kEliasFano);
+  ASSERT_EQ(loaded.num_terms(), idx.num_terms());
+  for (index::TermId t = 0; t < idx.num_terms(); ++t) {
+    EXPECT_EQ(loaded.list(t).docids.scheme(), idx.list(t).docids.scheme())
+        << "term " << t;
+    std::vector<index::DocId> a, b;
+    idx.list(t).docids.decode_all(a);
+    loaded.list(t).docids.decode_all(b);
+    ASSERT_EQ(a, b) << "term " << t;
+    ASSERT_EQ(loaded.list(t).freqs, idx.list(t).freqs) << "term " << t;
+  }
+}
+
+namespace {
+
+/// The exact in-memory block metadata struct v2 files were written with
+/// (raw fwrite, padding included).
+struct LegacyMetaV2 {
+  index::DocId first = 0;
+  index::DocId last = 0;
+  std::uint64_t bit_offset = 0;
+  std::uint16_t count = 0;
+  codec::PForHeader pfor;
+  codec::EFHeader ef;
+};
+static_assert(sizeof(LegacyMetaV2) == 32);
+
+template <typename T>
+void put(std::FILE* f, const T& v) {
+  ASSERT_EQ(std::fwrite(&v, 1, sizeof(T), f), sizeof(T));
+}
+
+/// Hand-writes a v2 (single-scheme, raw-meta) index file holding one list.
+void write_legacy_v2_file(const std::string& path, codec::Scheme scheme,
+                          const codec::BlockCompressedList& list,
+                          const std::vector<std::uint8_t>& freqs,
+                          std::uint64_t ndocs) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  put<std::uint64_t>(f, 0x4752494646494E31ull);  // magic
+  put<std::uint32_t>(f, 2);                      // version: legacy
+  put<std::uint8_t>(f, static_cast<std::uint8_t>(scheme));
+  put<std::uint32_t>(f, list.block_size());
+  put<std::uint64_t>(f, ndocs);
+  for (std::uint64_t d = 0; d < ndocs; ++d) {
+    put<std::uint32_t>(f, static_cast<std::uint32_t>(d % 5));
+  }
+  put<std::uint64_t>(f, 1);  // one term
+  put<std::uint64_t>(f, list.size());
+  put<std::uint64_t>(f, list.blob().size());
+  ASSERT_EQ(std::fwrite(list.blob().data(), 8, list.blob().size(), f),
+            list.blob().size());
+  put<std::uint64_t>(f, list.metas().size());
+  for (const codec::BlockMeta& m : list.metas()) {
+    LegacyMetaV2 l;
+    l.first = m.first;
+    l.last = m.last;
+    l.bit_offset = m.bit_offset;
+    l.count = m.count;
+    if (scheme == codec::Scheme::kPForDelta) l.pfor = m.hdr.pfor();
+    if (scheme == codec::Scheme::kEliasFano) l.ef = m.hdr.ef();
+    put(f, l);
+  }
+  put<std::uint64_t>(f, freqs.size());
+  ASSERT_EQ(std::fwrite(freqs.data(), 1, freqs.size(), f), freqs.size());
+  std::fclose(f);
+}
+
+}  // namespace
+
+TEST(IndexIO, LoadsLegacyV2SingleSchemeFile) {
+  // Old single-scheme indexes (written before the tagged-header format) must
+  // still load: the reader upgrades each raw v2 meta into a tagged header.
+  util::Xoshiro256 rng(5);
+  const auto docs = workload::make_uniform_list(900, 60'000, rng);
+  const std::vector<std::uint8_t> freqs(docs.size(), 1);
+  for (const codec::Scheme s :
+       {codec::Scheme::kEliasFano, codec::Scheme::kPForDelta}) {
+    const auto list = codec::BlockCompressedList::build(docs, s);
+    const std::string path = temp_path("griffin_test_index_v2.bin");
+    write_legacy_v2_file(path, s, list, freqs, 100);
+    const auto loaded = index::load_index(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.scheme(), s);
+    EXPECT_FALSE(loaded.adaptive());
+    ASSERT_EQ(loaded.num_terms(), 1u);
+    EXPECT_EQ(loaded.list(0).docids.scheme(), s);
+    std::vector<index::DocId> got;
+    loaded.list(0).docids.decode_all(got);
+    EXPECT_EQ(got, docs) << codec::scheme_name(s);
+    EXPECT_EQ(loaded.docs().num_docs(), 100u);
+    EXPECT_EQ(loaded.docs().length(7), 2u);
+  }
 }
 
 TEST(IndexIO, MissingFileThrows) {

@@ -141,3 +141,73 @@ TEST(Scheduler, CpuEstimateDropsSharplyAboveSkipRatio) {
   const auto skip_regime = sched.estimate_cpu(shape(2'000, 2'000'000));
   EXPECT_LT(skip_regime.ps() * 10, merge_regime.ps());
 }
+
+// ---- Codec-aware cost model (the codec-zoo refactor) -----------------------
+
+namespace {
+StepShape shape_with_scheme(std::uint64_t shorter, std::uint64_t longer,
+                            codec::Scheme s) {
+  StepShape sh = shape(shorter, longer);
+  sh.longer_scheme = s;
+  return sh;
+}
+}  // namespace
+
+TEST(Scheduler, DefaultLongerSchemeIsEliasFano) {
+  // Pre-zoo behavior is the default: shapes that never set a scheme price
+  // exactly as an EF list did before the refactor.
+  const StepShape s;
+  EXPECT_EQ(s.longer_scheme, codec::Scheme::kEliasFano);
+}
+
+TEST(Scheduler, CpuEstimateFollowsCodecLaneModel) {
+  Scheduler sched;
+  // Merge regime: the long list is decoded element-by-element, so the
+  // per-codec lane model dominates. Serial codecs must price higher than
+  // the vector-friendly ones.
+  const auto ef =
+      sched.estimate_cpu(shape_with_scheme(1'000'000, 2'000'000,
+                                           codec::Scheme::kEliasFano));
+  const auto vbyte =
+      sched.estimate_cpu(shape_with_scheme(1'000'000, 2'000'000,
+                                           codec::Scheme::kVarByte));
+  const auto repair =
+      sched.estimate_cpu(shape_with_scheme(1'000'000, 2'000'000,
+                                           codec::Scheme::kRePair));
+  EXPECT_LT(ef.ps(), vbyte.ps());
+  // Re-Pair's expansion is mode-independent (it never vectorizes), so its
+  // estimate lands near — but not on — the vector-friendly codecs'.
+  EXPECT_NE(ef.ps(), repair.ps());
+}
+
+TEST(Scheduler, GpuEstimatePenalizesSerialFallbackCodecs) {
+  Scheduler sched;
+  // VByte and Simple16 have no lane-parallel device kernel (gpu/decode.h
+  // falls back to a lane-0 loop), so their GPU estimates must exceed the
+  // GPU-parallel codecs'; EF and BP128 pay no penalty at all.
+  const auto ef = sched.estimate_gpu(
+      shape_with_scheme(1'000'000, 2'000'000, codec::Scheme::kEliasFano));
+  const auto bp128 = sched.estimate_gpu(
+      shape_with_scheme(1'000'000, 2'000'000, codec::Scheme::kBitPack128));
+  const auto vbyte = sched.estimate_gpu(
+      shape_with_scheme(1'000'000, 2'000'000, codec::Scheme::kVarByte));
+  const auto simple16 = sched.estimate_gpu(
+      shape_with_scheme(1'000'000, 2'000'000, codec::Scheme::kSimple16));
+  EXPECT_EQ(ef.ps(), bp128.ps());
+  EXPECT_GT(vbyte.ps(), ef.ps());
+  EXPECT_GT(simple16.ps(), ef.ps());
+}
+
+TEST(Scheduler, HighRatioTransferChargesActualCompressedBytes) {
+  Scheduler sched;
+  // Selective block transfer (ratio > threshold): the PCIe term scales with
+  // the list's real bytes-per-posting, so a better-compressed list is
+  // cheaper to place on the GPU.
+  StepShape dense = shape(2'000, 2'000'000);
+  dense.longer_bytes = 2'000'000 / 4;  // 2 bits/posting
+  StepShape loose = dense;
+  loose.longer_bytes = 2'000'000 * 4;  // 32 bits/posting
+  EXPECT_LT(sched.estimate_gpu(dense).ps(), sched.estimate_gpu(loose).ps());
+  // The CPU side decodes from host memory: transfer bytes are irrelevant.
+  EXPECT_EQ(sched.estimate_cpu(dense).ps(), sched.estimate_cpu(loose).ps());
+}
