@@ -263,12 +263,18 @@ inline const char* step_kind_name(core::StepKind k) {
     case core::StepKind::kTransfer: return "transfer";
     case core::StepKind::kRank: return "rank";
     case core::StepKind::kPrefetch: return "prefetch";
+    case core::StepKind::kHostDecode: return "host_decode";
   }
   return "?";
 }
 
 inline const char* placement_name(core::Placement p) {
-  return p == core::Placement::kGpu ? "gpu" : "cpu";
+  switch (p) {
+    case core::Placement::kCpu: return "cpu";
+    case core::Placement::kGpu: return "gpu";
+    case core::Placement::kSplit: return "split";
+  }
+  return "?";
 }
 
 /// One StepRecord as a JSON object (durations in microseconds).
@@ -282,10 +288,12 @@ inline Json step_json(const core::StepRecord& r) {
   if (r.batch_group != 0) j["batch_group"] = r.batch_group;
   if (r.kind == core::StepKind::kDecode ||
       r.kind == core::StepKind::kIntersect ||
-      r.kind == core::StepKind::kPrefetch) {
+      r.kind == core::StepKind::kPrefetch ||
+      r.kind == core::StepKind::kHostDecode) {
     j["term"] = static_cast<std::uint64_t>(r.term);
   }
   if (r.kind == core::StepKind::kIntersect) {
+    if (r.placement == core::Placement::kSplit) j["alpha"] = r.alpha;
     j["shorter"] = r.shape.shorter;
     j["longer"] = r.shape.longer;
     j["longer_device_resident"] = r.shape.longer_device_resident;

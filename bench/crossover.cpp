@@ -289,6 +289,71 @@ int main() {
   std::printf("(serial-fallback codecs shift the balance toward the CPU: the "
               "GPU pays their per-posting decode penalty.)\n");
 
+  // Three-way split band (DESIGN.md §15): the binary crossover generalizes
+  // into a [lambda_lo, lambda_hi] band where the scheduler splits the step
+  // across both processors. Swept analytically with the default (ratio +
+  // band fall-through) policy per SIMD preset: a big resident probe, the
+  // long list priced at the EF sweep list's real bytes-per-posting.
+  std::printf("\nThree-way split band (default policy, probe %u):\n",
+              1u << 20);
+  std::printf("  %-6s %10s %10s %10s %10s\n", "preset", "lambda_lo",
+              "lambda_hi", "alpha_mid", "structure");
+  const auto band_list =
+      codec::BlockCompressedList::build(probe_docs, codec::Scheme::kEliasFano);
+  const double band_bpe = static_cast<double>(band_list.compressed_bytes()) /
+                          static_cast<double>(longer_size);
+  bench::Json band_rows = bench::Json::array();
+  for (const auto& preset : presets) {
+    sim::HardwareSpec hw;
+    hw.cpu = preset.spec;
+    const core::Scheduler ssched({}, hw);
+    const std::uint64_t probe = 1u << 20;
+    double lo = -1.0, hi = -1.0;
+    bool contiguous = true;  // kGpu below the band, kCpu above, splits inside
+    for (double r = 1.0; r <= 4096.0; r *= 1.02) {
+      core::StepShape sh;
+      sh.shorter = probe;
+      sh.longer = static_cast<std::uint64_t>(r * static_cast<double>(probe));
+      sh.longer_bytes = static_cast<std::uint64_t>(
+          band_bpe * static_cast<double>(sh.longer));
+      sh.current_location = core::Placement::kCpu;
+      switch (ssched.decide(sh)) {
+        case core::Placement::kSplit:
+          if (lo < 0) lo = r;
+          if (hi >= 0) contiguous = false;  // split after the band closed
+          break;
+        case core::Placement::kGpu:
+          if (lo >= 0) contiguous = false;  // GPU inside/after the band
+          break;
+        case core::Placement::kCpu:
+          if (lo >= 0 && hi < 0) hi = r;  // first CPU above closes the band
+          break;
+      }
+    }
+    double alpha_mid = -1.0;
+    if (lo > 0 && hi > lo) {
+      core::StepShape sh;
+      sh.shorter = probe;
+      sh.longer = static_cast<std::uint64_t>(std::sqrt(lo * hi) *
+                                             static_cast<double>(probe));
+      sh.longer_bytes = static_cast<std::uint64_t>(
+          band_bpe * static_cast<double>(sh.longer));
+      sh.current_location = core::Placement::kCpu;
+      alpha_mid = ssched.split_alpha(sh);
+    }
+    std::printf("  %-6s %10.1f %10.1f %10.3f %10s\n", preset.name, lo, hi,
+                alpha_mid, contiguous ? "gpu|split|cpu" : "BROKEN");
+    bench::Json br = bench::Json::object();
+    br["name"] = preset.name;
+    br["lambda_lo"] = lo;
+    br["lambda_hi"] = hi;
+    br["alpha_mid"] = alpha_mid;
+    br["contiguous"] = contiguous;
+    band_rows.push_back(std::move(br));
+  }
+  std::printf("(inside the band both processors finish in comparable time, "
+              "so co-executing one step beats either alone.)\n");
+
   bench::Json root = bench::Json::object();
   root["bench"] = "crossover";
   root["fast_mode"] = bench::fast_mode();
@@ -298,6 +363,7 @@ int main() {
   root["pipelined_crossover_group"] = pipelined_crossover_group;
   root["presets"] = std::move(preset_rows);
   root["codec_crossover"] = std::move(codec_rows);
+  root["split_band"] = std::move(band_rows);
   bench::write_bench_json("crossover", root);
   return 0;
 }

@@ -1,8 +1,21 @@
 #include "core/executor.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace griffin::core {
+
+namespace {
+/// The GPU's probe count for a split at share `alpha` — the same rounding
+/// the scheduler's estimate_split uses, so the executed partition matches
+/// the priced one.
+std::uint64_t split_share(double alpha, std::uint64_t n) {
+  const auto g = static_cast<std::uint64_t>(
+      std::llround(std::clamp(alpha, 0.0, 1.0) * static_cast<double>(n)));
+  return std::min(g, n);
+}
+}  // namespace
 
 void StepExecutor::begin_query(const Query& q) {
   host_current_.clear();
@@ -75,7 +88,9 @@ void StepExecutor::dispatch(const PlanStep& step, const Query& q,
     return;
   }
   if (const auto* i = std::get_if<IntersectStep>(&step)) {
-    if (i->where == Placement::kGpu) {
+    if (i->where == Placement::kSplit) {
+      run_split(*i, res);
+    } else if (i->where == Placement::kGpu) {
       assert(gpu_ != nullptr);
       if (i->first_pair) {
         gpu_->intersect_first(i->probe_term, i->term, m);
@@ -111,6 +126,20 @@ void StepExecutor::dispatch(const PlanStep& step, const Query& q,
     gpu_->prefetch(p->term, m);  // intermediate and location unchanged
     return;
   }
+  if (const auto* h = std::get_if<HostDecodeStep>(&step)) {
+    // Inter-step pipelining (DESIGN.md §15): the host core decodes a later
+    // term while the device runs the current step. Recorded on the CPU
+    // stream — later CPU ops serialize behind it, which is what makes the
+    // work-ahead honest — but waiting on nothing and never advancing the
+    // plan frontier: no step *depends* on it, a consumer simply finds the
+    // list in the decoded cache.
+    assert(svs_ != nullptr);
+    const sim::Duration c0 = m.total;
+    svs_->decode_ahead(h->term, m);
+    tl_->record(cpu_stream_, sim::Resource::kCpu, m.total - c0,
+                sim::Timeline::Event{});
+    return;
+  }
   // RankStep: BM25 + partial_sort on the host. Scoring uses the query's
   // original term order, not the SvS length order: float accumulation order
   // is then a property of the query alone, so a document-partitioned shard
@@ -122,6 +151,92 @@ void StepExecutor::dispatch(const PlanStep& step, const Query& q,
   cpu::top_k(res.topk, q.k, rank);
   m.add_stage(rank.time(), &m.rank);
   m.simd += rank.simd();
+}
+
+sim::Timeline::Event StepExecutor::run_cpu_leg(
+    std::span<const codec::DocId> probes, index::TermId t,
+    std::vector<codec::DocId>& out, sim::Timeline::Event ready,
+    QueryMetrics& m) {
+  if (probes.empty()) {
+    out.clear();
+    return ready;
+  }
+  const sim::Duration c0 = m.total;
+  svs_->partial_step(probes, t, out, m);
+  return tl_->record(cpu_stream_, sim::Resource::kCpu, m.total - c0, ready);
+}
+
+void StepExecutor::run_split(const IntersectStep& i, QueryResult& res) {
+  QueryMetrics& m = res.metrics;
+  assert(svs_ != nullptr && gpu_ != nullptr);
+  const sim::Timeline::Event entry = frontier_;
+
+  std::vector<codec::DocId> cpu_out;
+  std::vector<codec::DocId> gpu_partial;
+  sim::Timeline::Event cpu_done = entry;
+  sim::Timeline::Event gpu_done = entry;
+
+  if (loc_ == Placement::kGpu) {
+    // Device-resident probes: only the CPU leg's low prefix crosses back
+    // over PCIe; the kernels search the high suffix in place via the
+    // probe_offset. The prefix D2H and the GPU leg run on different
+    // resources, so the kernels are chained on the step entry, not on the
+    // download — only the CPU leg waits the copy out.
+    const std::uint64_t n = gpu_->intermediate_count();
+    const std::uint64_t n_gpu = split_share(i.alpha, n);
+    const std::uint64_t n_cpu = n - n_gpu;
+    gpu_->set_chain(entry);
+    sim::Timeline::Event cpu_ready = entry;
+    std::vector<codec::DocId> prefix;
+    if (n_cpu > 0) {
+      prefix = gpu_->download_intermediate_prefix(n_cpu, m);
+      cpu_ready = gpu_->chain();
+      gpu_->set_chain(entry);
+    }
+    if (n_gpu > 0) {
+      gpu_partial = gpu_->split_intersect_device(i.term, n_cpu, m);
+      gpu_done = gpu_->chain();
+    } else {
+      // Degenerate alpha=0: the prefix download drained everything.
+      gpu_->drop_intermediate();
+    }
+    cpu_done = run_cpu_leg(prefix, i.term, cpu_out, cpu_ready, m);
+  } else {
+    // Host-resident probes — or the first pair, whose probe list the host
+    // decodes first; the device leg then waits on that op like any real
+    // data dependency.
+    sim::Timeline::Event probe_ready = entry;
+    std::vector<codec::DocId> probes_storage;
+    if (i.first_pair) {
+      const sim::Duration c0 = m.total;
+      svs_->materialize_probes(i.probe_term, probes_storage, m);
+      probe_ready = tl_->record(cpu_stream_, sim::Resource::kCpu,
+                                m.total - c0, entry);
+    } else {
+      probes_storage.swap(host_current_);
+    }
+    const std::span<const codec::DocId> probes(probes_storage);
+    const std::uint64_t n_gpu = split_share(i.alpha, probes.size());
+    const std::uint64_t n_cpu = probes.size() - n_gpu;
+    if (n_gpu > 0) {
+      gpu_->set_chain(probe_ready);
+      gpu_partial =
+          gpu_->split_intersect_host(i.term, probes.subspan(n_cpu), m);
+      gpu_done = gpu_->chain();
+    } else {
+      gpu_done = probe_ready;
+    }
+    cpu_done = run_cpu_leg(probes.first(n_cpu), i.term, cpu_out, probe_ready,
+                           m);
+  }
+
+  // The ranges are docID-disjoint and each partial is sorted, so the
+  // concatenation is exactly the unsplit intersection.
+  cpu_out.insert(cpu_out.end(), gpu_partial.begin(), gpu_partial.end());
+  host_current_ = std::move(cpu_out);
+  loc_ = Placement::kCpu;
+  split_done_ = sim::Timeline::join(cpu_done, gpu_done);
+  m.placements.push_back(Placement::kSplit);
 }
 
 void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
@@ -145,8 +260,10 @@ void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
   } else {
     const auto& i = std::get<IntersectStep>(step);
     rec.kind = StepKind::kIntersect;
+    rec.placement = i.where;  // a faulted kSplit step records as kSplit
     rec.term = i.term;
     rec.shape = i.shape;
+    rec.alpha = i.alpha;
     terms[num_terms++] = i.term;
     if (i.first_pair) terms[num_terms++] = i.probe_term;
   }
@@ -193,7 +310,9 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
     if (const auto* d = std::get_if<DecodeStep>(&step)) {
       gpu_compute = d->where == Placement::kGpu;
     } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
-      gpu_compute = i->where == Placement::kGpu;
+      // A split step's GPU leg is device compute too: the fault fires
+      // before either leg consumed anything, so recovery is unchanged.
+      gpu_compute = i->where != Placement::kCpu;
     }
     if (gpu_compute &&
         injector_->gpu_step_fault(fault_scope_, query_id_, step_index_)) {
@@ -216,15 +335,21 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
   const std::size_t ops0 = tl_->num_ops();
 
   // GPU-dispatched steps record their own timeline ops (ledgers + kernels)
-  // chained off the plan frontier; everything else becomes one CPU op.
+  // chained off the plan frontier; split and host-decode steps manage their
+  // own ops inside dispatch; everything else becomes one CPU op.
   bool gpu_step = false;
+  bool split_step = false;
+  bool host_decode_step = false;
   if (const auto* d = std::get_if<DecodeStep>(&step)) {
     gpu_step = d->where == Placement::kGpu;
   } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
     gpu_step = i->where == Placement::kGpu;
+    split_step = i->where == Placement::kSplit;
   } else if (std::holds_alternative<TransferStep>(step) ||
              std::holds_alternative<PrefetchStep>(step)) {
     gpu_step = true;
+  } else if (std::holds_alternative<HostDecodeStep>(step)) {
+    host_decode_step = true;
   }
   if (gpu_step) gpu_->set_chain(frontier_);
 
@@ -241,8 +366,9 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
     rec.placement = i->where;
     rec.term = i->term;
     rec.shape = i->shape;
-    rec.resource = i->where == Placement::kGpu ? sim::Resource::kGpuCompute
-                                               : sim::Resource::kCpu;
+    rec.alpha = i->alpha;
+    rec.resource = i->where == Placement::kCpu ? sim::Resource::kCpu
+                                               : sim::Resource::kGpuCompute;
   } else if (const auto* t = std::get_if<TransferStep>(&step)) {
     rec.kind = StepKind::kTransfer;
     rec.placement = t->direction == TransferDirection::kHostToDevice
@@ -257,6 +383,11 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
     rec.placement = Placement::kGpu;
     rec.term = p->term;
     rec.resource = sim::Resource::kCopyH2D;
+  } else if (const auto* h = std::get_if<HostDecodeStep>(&step)) {
+    rec.kind = StepKind::kHostDecode;
+    rec.placement = Placement::kCpu;
+    rec.term = h->term;
+    rec.resource = sim::Resource::kCpu;
   } else {
     rec.kind = StepKind::kRank;
     rec.placement = Placement::kCpu;
@@ -271,10 +402,16 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
   rec.rank = m.rank - rank0;
   rec.simd = m.simd - simd0;
 
-  if (gpu_step) {
+  if (split_step) {
+    // Both legs' completion, joined by run_split.
+    frontier_ = split_done_;
+  } else if (gpu_step) {
     // Prefetches leave the chain untouched, so the frontier is unchanged
     // for them — later steps don't wait on a prefetch unless they use it.
     frontier_ = gpu_->chain();
+  } else if (host_decode_step) {
+    // The work-ahead recorded its own unchained CPU op; the plan frontier
+    // deliberately does not advance (nothing depends on it).
   } else {
     frontier_ = tl_->record(cpu_stream_, sim::Resource::kCpu, rec.duration,
                             frontier_);

@@ -114,6 +114,22 @@ class StepExecutor : public ResidencyProbe {
   /// The fault-abort path of run(): charges the wasted device time, resets
   /// the GpuExecutor's per-step state, and appends the faulted StepRecord.
   void abandon_gpu_step(const PlanStep& step, QueryResult& res);
+  /// Executes a kSplit intersect (DESIGN.md §15): partitions the sorted
+  /// probe side at index round((1-alpha)*n) — low docID range to the CPU's
+  /// SvS stepper, high range to the GPU's binary-search kernels — runs both
+  /// legs concurrently on their timeline streams, and concatenates the
+  /// docID-disjoint partials into a host-side intermediate (bit-identical
+  /// to the unsplit result). Sets split_done_ to join(cpu leg, gpu leg);
+  /// run() adopts it as the new plan frontier.
+  void run_split(const IntersectStep& i, QueryResult& res);
+  /// The CPU leg of run_split: partial_step over the probe prefix, mirrored
+  /// as one CPU-stream op waiting on `ready`. Returns its completion (or
+  /// `ready` unchanged for an empty leg).
+  sim::Timeline::Event run_cpu_leg(std::span<const codec::DocId> probes,
+                                   index::TermId t,
+                                   std::vector<codec::DocId>& out,
+                                   sim::Timeline::Event ready,
+                                   QueryMetrics& m);
 
   sim::CpuSpec rank_spec_;
   cpu::SvsStepper* svs_;
@@ -135,8 +151,12 @@ class StepExecutor : public ResidencyProbe {
   sim::Timeline::StreamId cpu_stream_ = 0;
   /// The plan frontier: completion of the latest step every later dependent
   /// op must wait on. GPU steps advance it through the GpuExecutor's chain;
-  /// prefetch steps deliberately leave it alone.
+  /// prefetch and host-decode steps deliberately leave it alone.
   sim::Timeline::Event frontier_;
+  /// Completion of the last kSplit step (join of both legs); consumed by
+  /// run() as the frontier since neither gpu_->chain() nor a single CPU op
+  /// covers both legs.
+  sim::Timeline::Event split_done_;
 };
 
 /// The shared driver loop: plans and executes one query start to finish.

@@ -41,6 +41,12 @@ struct IntersectStep {
   index::TermId probe_term = 0;  ///< the shorter list (first_pair only)
   bool first_pair = false;
   Placement where = Placement::kCpu;
+  /// where == kSplit only (DESIGN.md §15): the GPU's share of the probe
+  /// side. The executor partitions the sorted probes at index
+  /// round((1-alpha)*n) — the low docID range runs the CPU's SvS stepper,
+  /// the high range the GPU's binary-search kernels, concurrently; the
+  /// concatenated partials are bit-identical to the unsplit result.
+  double alpha = 0.0;
   StepShape shape;
 };
 
@@ -66,7 +72,19 @@ struct PrefetchStep {
   index::TermId term = 0;
 };
 
+/// Decode a later intersect's longer list on the host, into the decoded
+/// cache, while the GPU runs the current step (inter-step pipelining,
+/// DESIGN.md §15): the planner stages one when the current intersect keeps
+/// the device busy, the *next* term is predicted to be intersected on the
+/// CPU, and the decode is short enough to hide under the device work. Like
+/// kPrefetch it never advances the plan frontier; the host core serializes
+/// it before later CPU ops (one core), which is exactly the idle window it
+/// fills. Never changes results.
+struct HostDecodeStep {
+  index::TermId term = 0;
+};
+
 using PlanStep = std::variant<DecodeStep, IntersectStep, TransferStep,
-                              RankStep, PrefetchStep>;
+                              RankStep, PrefetchStep, HostDecodeStep>;
 
 }  // namespace griffin::core

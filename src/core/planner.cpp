@@ -1,6 +1,7 @@
 #include "core/planner.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace griffin::core {
 
@@ -10,6 +11,10 @@ StepShape Planner::shape_for(std::uint64_t shorter, index::TermId longer_term,
   s.shorter = shorter;
   s.longer = idx_->list(longer_term).size();
   s.longer_bytes = idx_->list(longer_term).docids.compressed_bytes();
+  // Every codec stores at least a header for a nonempty list; the
+  // scheduler's transfer terms divide by this, so a zero here means a list
+  // was built outside index construction.
+  assert(s.longer == 0 || s.longer_bytes > 0);
   s.longer_scheme = idx_->list(longer_term).docids.scheme();
   // Residency bits from the two cache tiers: cold caches leave both false,
   // so the first queries decide exactly as the paper's rule does.
@@ -23,8 +28,10 @@ StepShape Planner::shape_for(std::uint64_t shorter, index::TermId longer_term,
 void Planner::degrade_to_cpu(const PlanStep& step) {
   forced_cpu_ = true;
   // A prefetch staged alongside the faulted step has no consumer anymore
-  // (the executor discards the in-flight uploads as part of its recovery).
+  // (the executor discards the in-flight uploads as part of its recovery),
+  // and a staged host work-ahead was bet on device work that won't run.
   staged_prefetch_.reset();
+  staged_host_decode_.reset();
   if (std::holds_alternative<DecodeStep>(step)) {
     // Single-term GPU decode: restart the plan; the re-emitted decode runs
     // on the host.
@@ -48,11 +55,33 @@ void Planner::degrade_to_cpu(const PlanStep& step) {
 
 void Planner::maybe_stage_prefetch(const IntersectStep& step) {
   const SchedulerOptions& o = sched_->options();
-  if (!o.prefetch || step.where != Placement::kGpu) return;
+  if (!o.prefetch) return;
   if (next_term_ >= terms_.size()) return;  // no later list to move
   const index::TermId nxt = terms_[next_term_];
   if (probe_->device_resident(nxt) || probe_->prefetched(nxt)) return;
   if (step.shape.shorter == 0) return;
+  if (step.where == Placement::kCpu) {
+    // Inter-step pipelining (DESIGN.md §15): during a CPU-placed intersect
+    // the copy engine sits idle, but an upload is only worth issuing when
+    // the next step is actually predicted to consume the list on the
+    // device (optimistic shape — the intermediate only shrinks).
+    if (!o.pipeline_idle) return;
+    const Placement nxt_where =
+        sched_->decide(shape_for(step.shape.shorter, nxt, Placement::kCpu));
+    if (nxt_where == Placement::kCpu) return;
+    // The CPU intersect running under this upload usually cuts the probe
+    // hard, and a smaller probe re-favors the host (the ratio grows). The
+    // device prediction must survive a pessimistic shrink too, or the copy
+    // is pure loss the moment it flips.
+    const std::uint64_t shrunk = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(step.shape.shorter) /
+                                   o.prefetch_shrink_robustness),
+        1);
+    if (sched_->decide(shape_for(shrunk, nxt, Placement::kCpu)) ==
+        Placement::kCpu) {
+      return;
+    }
+  }
   // Gate on the ratio as known *now* (the intermediate only shrinks, so
   // this is the optimistic bound): past the limit, the binary-search path's
   // deferred transfer beats even a hidden full-payload upload.
@@ -60,6 +89,31 @@ void Planner::maybe_stage_prefetch(const IntersectStep& step) {
                        static_cast<double>(step.shape.shorter);
   if (ratio >= o.prefetch_ratio_limit) return;
   staged_prefetch_ = nxt;
+}
+
+void Planner::maybe_stage_host_decode(const IntersectStep& step) {
+  const SchedulerOptions& o = sched_->options();
+  if (!o.pipeline_idle || step.where != Placement::kGpu) return;
+  if (next_term_ >= terms_.size()) return;  // no later list to decode
+  const index::TermId nxt = terms_[next_term_];
+  if (probe_->host_decoded(nxt)) return;  // nothing to work ahead on
+  if (step.shape.shorter == 0) return;
+  // A prefetch of the same term bets on a device consumer; don't also bet
+  // the host core on the opposite outcome.
+  if (staged_prefetch_.has_value() && *staged_prefetch_ == nxt) return;
+  // Work ahead only when the next step is predicted to run host-side (the
+  // decode helps nobody otherwise) and the decode fits under the device
+  // step's estimated time — a longer decode would stall the plan frontier
+  // it was meant to hide under.
+  const Placement nxt_where =
+      sched_->decide(shape_for(step.shape.shorter, nxt, Placement::kGpu));
+  if (nxt_where != Placement::kCpu) return;
+  const auto& list = idx_->list(nxt).docids;
+  if (sched_->estimate_host_decode(list.size(), list.scheme()) >
+      sched_->estimate_gpu(step.shape)) {
+    return;
+  }
+  staged_host_decode_ = nxt;
 }
 
 void Planner::begin(const Query& q) {
@@ -71,6 +125,7 @@ void Planner::begin(const Query& q) {
   next_term_ = 0;
   stage_ = terms_.empty() ? Stage::kDone : Stage::kStart;
   staged_prefetch_.reset();
+  staged_host_decode_.reset();
   forced_cpu_ = false;
 }
 
@@ -83,6 +138,13 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
     const index::TermId t = *staged_prefetch_;
     staged_prefetch_.reset();
     return PrefetchStep{t};
+  }
+  // Likewise for a staged host work-ahead: the host core started decoding
+  // when the device step was issued.
+  if (staged_host_decode_.has_value()) {
+    const index::TermId t = *staged_host_decode_;
+    staged_host_decode_.reset();
+    return HostDecodeStep{t};
   }
 
   if (stage_ == Stage::kStart) {
@@ -107,9 +169,13 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
     step.shape = shape_for(idx_->list(terms_[0]).size(), terms_[1],
                            std::nullopt);
     step.where = forced_cpu_ ? Placement::kCpu : sched_->decide(step.shape);
+    if (step.where == Placement::kSplit) {
+      step.alpha = sched_->split_alpha(step.shape);
+    }
     next_term_ = 2;
     stage_ = Stage::kIntersect;
     maybe_stage_prefetch(step);
+    maybe_stage_host_decode(step);
     return step;
   }
 
@@ -126,9 +192,17 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
       step.term = terms_[next_term_];
       step.shape = shape_for(intermediate_count, terms_[next_term_], location);
       step.where = forced_cpu_ ? Placement::kCpu : sched_->decide(step.shape);
+      if (step.where == Placement::kSplit) {
+        step.alpha = sched_->split_alpha(step.shape);
+      }
       ++next_term_;
       maybe_stage_prefetch(step);
-      if (location.has_value() && step.where != *location) {
+      maybe_stage_host_decode(step);
+      // A split step consumes the intermediate wherever it lives (the
+      // executor partitions in place, downloading only the CPU leg's prefix
+      // when it is device-resident), so no migration transfer precedes it.
+      if (location.has_value() && step.where != Placement::kSplit &&
+          step.where != *location) {
         // Migrate first; the already-decided intersect stays pending (the
         // decision is never re-evaluated at the new location).
         pending_ = step;

@@ -96,13 +96,24 @@ class Planner {
     kDone,
   };
 
-  /// Called right after an intersect step is decided: if it runs on the GPU
-  /// and the *following* term's list is worth moving early, stage a
-  /// PrefetchStep to emit on the next call. The decision uses only state
-  /// known when the intersect is issued — a real host would enqueue the
-  /// async copy then, before the kernels' outcome exists — so a staged
+  /// Called right after an intersect step is decided: if the *following*
+  /// term's list is worth moving early, stage a PrefetchStep to emit on the
+  /// next call. Device-placed (kGpu/kSplit) steps prefetch as before — the
+  /// copy engine rides under their kernels; CPU-placed steps prefetch only
+  /// under pipeline_idle and only when the next step is predicted to
+  /// consume the list on the device (DESIGN.md §15). The decision uses only
+  /// state known when the intersect is issued — a real host would enqueue
+  /// the async copy then, before the kernels' outcome exists — so a staged
   /// prefetch is emitted even if the intersect empties the intermediate.
   void maybe_stage_prefetch(const IntersectStep& step);
+
+  /// Inter-step pipelining, host side (DESIGN.md §15): after a kGpu
+  /// intersect is decided the host core is idle, so if the *following*
+  /// step is predicted to run on the CPU and the next term's host decode
+  /// fits under the device step's estimated time, stage a HostDecodeStep.
+  /// Split steps keep the host busy with their own CPU leg and never
+  /// work-ahead.
+  void maybe_stage_host_decode(const IntersectStep& step);
 
   const index::InvertedIndex* idx_;
   const Scheduler* sched_;
@@ -112,6 +123,7 @@ class Planner {
   Stage stage_ = Stage::kDone;
   IntersectStep pending_;  ///< valid in kPendingIntersect
   std::optional<index::TermId> staged_prefetch_;
+  std::optional<index::TermId> staged_host_decode_;
   bool forced_cpu_ = false;  ///< degraded: every decision pinned to the CPU
 };
 

@@ -30,7 +30,11 @@ struct ScoredDoc {
 };
 
 /// Where one intersection step ran — the scheduler's decision trail.
-enum class Placement : std::uint8_t { kCpu, kGpu };
+/// kSplit is the co-execution placement (DESIGN.md §15): the probe side is
+/// partitioned into two docID-disjoint ranges and both processors run their
+/// range at once; the concatenated partials are bit-identical to either
+/// single-processor result.
+enum class Placement : std::uint8_t { kCpu, kGpu, kSplit };
 
 /// The step taxonomy of the physical-plan layer (core/plan.h holds the typed
 /// step structs; the kind tag lives here so trace records stay
@@ -44,6 +48,12 @@ enum class StepKind : std::uint8_t {
   /// overlapping the current step's kernels (DESIGN.md §10). Never changes
   /// results; dropped (its entry discarded) when the plan migrates to CPU.
   kPrefetch,
+  /// Host-side decode of a later step's posting list into the decoded
+  /// cache while the GPU runs the current intersect (DESIGN.md §15): the
+  /// idle processor works ahead on a step with no data dependence. Like
+  /// kPrefetch it never advances the plan frontier — only a later consumer
+  /// (via the host cache) benefits.
+  kHostDecode,
 };
 
 /// One intersection step as the scheduler sees it (core/scheduler.h decides
@@ -82,9 +92,13 @@ struct StepRecord {
   /// BatchComposer). 0 = unbatched; equal non-zero ids mark steps whose
   /// kernels launched together and shared the launch overhead.
   std::uint64_t batch_group = 0;
-  /// Decode/intersect: the processor that ran the step. Transfer: the
-  /// destination. Rank: kCpu.
+  /// Decode/intersect: the processor that ran the step (kSplit when both
+  /// ran a range of it). Transfer: the destination. Rank: kCpu.
   Placement placement = Placement::kCpu;
+  /// kSplit intersects only: the GPU's share of the probe side — the
+  /// scheduler's throughput-proportional fraction α (Scheduler::split_alpha
+  /// replays it from `shape`).
+  double alpha = 0.0;
   index::TermId term = 0;  ///< posting list consumed (decode/intersect)
   /// Intersect steps: the scheduler's input, residency bits included
   /// (Scheduler::decide(shape) replays to `placement`).
@@ -132,6 +146,9 @@ struct TraceSummary {
   std::uint64_t prefetch_steps = 0;
   std::uint64_t cpu_intersects = 0;  ///< intersect steps placed on the CPU
   std::uint64_t gpu_intersects = 0;  ///< intersect steps placed on the GPU
+  /// Intersect steps co-executed on both processors (Placement::kSplit).
+  std::uint64_t split_intersects = 0;
+  std::uint64_t host_decode_steps = 0;  ///< kHostDecode work-ahead steps
   std::uint64_t migrations = 0;      ///< transfer steps that were migrations
   std::uint64_t faulted_steps = 0;   ///< steps abandoned by injected faults
   std::uint64_t batched_steps = 0;   ///< steps coalesced into a cross-query batch
@@ -160,7 +177,11 @@ struct TraceSummary {
       case StepKind::kDecode: ++decode_steps; break;
       case StepKind::kIntersect:
         ++intersect_steps;
-        ++(r.placement == Placement::kGpu ? gpu_intersects : cpu_intersects);
+        switch (r.placement) {
+          case Placement::kCpu: ++cpu_intersects; break;
+          case Placement::kGpu: ++gpu_intersects; break;
+          case Placement::kSplit: ++split_intersects; break;
+        }
         break;
       case StepKind::kTransfer:
         ++transfer_steps;
@@ -168,6 +189,7 @@ struct TraceSummary {
         break;
       case StepKind::kRank: ++rank_steps; break;
       case StepKind::kPrefetch: ++prefetch_steps; break;
+      case StepKind::kHostDecode: ++host_decode_steps; break;
     }
     step_time += r.duration;
   }
@@ -183,6 +205,8 @@ struct TraceSummary {
     prefetch_steps += o.prefetch_steps;
     cpu_intersects += o.cpu_intersects;
     gpu_intersects += o.gpu_intersects;
+    split_intersects += o.split_intersects;
+    host_decode_steps += o.host_decode_steps;
     migrations += o.migrations;
     faulted_steps += o.faulted_steps;
     batched_steps += o.batched_steps;
@@ -191,6 +215,9 @@ struct TraceSummary {
     return *this;
   }
 
+  /// Fraction of single-processor intersects that ran on the GPU. Split
+  /// steps engage both processors at once, so they are excluded here and
+  /// reported through split_intersects instead.
   double gpu_intersect_fraction() const {
     const std::uint64_t n = cpu_intersects + gpu_intersects;
     return n == 0 ? 0.0

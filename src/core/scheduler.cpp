@@ -1,8 +1,11 @@
 #include "core/scheduler.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "cpu/simd_cost.h"
+#include "cpu/svs_step.h"
 #include "util/bits.h"
 
 namespace griffin::core {
@@ -31,7 +34,27 @@ double gpu_decode_penalty_ns(codec::Scheme s) {
   return 0.0;
 }
 
+/// The split alpha grid: 1/32 granularity, endpoints excluded (degenerate
+/// splits are the single-processor decisions). Coarse enough to stay cheap,
+/// fine enough that max(two near-linear legs) sits within a few percent of
+/// its continuous optimum.
+constexpr int kAlphaGridSteps = 32;
+
 }  // namespace
+
+Placement Scheduler::cost_decide(const StepShape& s, bool allow_split) const {
+  const sim::Duration t_cpu = estimate_cpu(s);
+  const sim::Duration t_gpu = estimate_gpu(s);
+  const sim::Duration best = sim::min(t_cpu, t_gpu);
+  if (allow_split && opt_.split && s.shorter >= opt_.split_min_probe) {
+    const auto [alpha, t_split] = best_split(s);
+    (void)alpha;
+    const double gate =
+        (1.0 - opt_.split_min_gain) * static_cast<double>(best.ps());
+    if (static_cast<double>(t_split.ps()) < gate) return Placement::kSplit;
+  }
+  return t_gpu < t_cpu ? Placement::kGpu : Placement::kCpu;
+}
 
 Placement Scheduler::decide(const StepShape& s) const {
   switch (opt_.policy) {
@@ -39,6 +62,8 @@ Placement Scheduler::decide(const StepShape& s) const {
       return Placement::kCpu;
     case SchedulerPolicy::kAlwaysGpu:
       return Placement::kGpu;
+    case SchedulerPolicy::kAlwaysSplit:
+      return s.shorter == 0 ? Placement::kCpu : Placement::kSplit;
     case SchedulerPolicy::kRatioThreshold: {
       if (s.shorter == 0) return Placement::kCpu;  // nothing left to do
       const double ratio = static_cast<double>(s.longer) /
@@ -61,13 +86,50 @@ Placement Scheduler::decide(const StepShape& s) const {
         }
         if (s.longer_host_decoded) threshold *= opt_.host_decoded_ratio_scale;
       }
+      // Co-execution (DESIGN.md §15): near the crossover both processors
+      // finish in comparable time, which is exactly where splitting one
+      // step across both beats either alone. The binary rule generalizes
+      // into the band [threshold/split_band, threshold*split_band): inside
+      // it the decision falls through to the three-way cost comparison;
+      // outside it one processor dominates and the ratio rule stands.
+      if (opt_.split && s.shorter >= opt_.split_min_probe &&
+          ratio >= threshold / opt_.split_band &&
+          ratio < threshold * opt_.split_band) {
+        return cost_decide(s, /*allow_split=*/true);
+      }
       return ratio < threshold ? Placement::kGpu : Placement::kCpu;
     }
     case SchedulerPolicy::kCostModel:
-      return estimate_gpu(s) < estimate_cpu(s) ? Placement::kGpu
-                                               : Placement::kCpu;
+      if (s.shorter == 0) return Placement::kCpu;
+      return cost_decide(s, /*allow_split=*/true);
   }
   return Placement::kCpu;
+}
+
+double Scheduler::split_alpha(const StepShape& s) const {
+  if (opt_.forced_split_alpha >= 0.0) {
+    return std::min(opt_.forced_split_alpha, 1.0);
+  }
+  return best_split(s).first;
+}
+
+std::pair<double, sim::Duration> Scheduler::best_split(
+    const StepShape& s) const {
+  if (opt_.forced_split_alpha >= 0.0) {
+    const double a = std::min(opt_.forced_split_alpha, 1.0);
+    return {a, estimate_split(s, a)};
+  }
+  double best_a = 1.0 / kAlphaGridSteps;
+  sim::Duration best_t = estimate_split(s, best_a);
+  for (int i = 2; i < kAlphaGridSteps; ++i) {
+    const double a = static_cast<double>(i) / kAlphaGridSteps;
+    const sim::Duration t = estimate_split(s, a);
+    if (t < best_t) {
+      best_t = t;
+      best_a = a;
+    }
+  }
+  return {best_a, best_t};
 }
 
 sim::Duration Scheduler::estimate_cpu(const StepShape& s) const {
@@ -84,7 +146,7 @@ sim::Duration Scheduler::estimate_cpu(const StepShape& s) const {
   if (s.shorter == 0) return sim::Duration();
   const double ratio = nl / ns;
   const bool host_decoded = opt_.residency_aware && s.longer_host_decoded;
-  if (ratio >= 32.0) {
+  if (ratio >= cpu::kDefaultSkipRatio) {
     // Skip-pointer probing: log-time skip search per probe plus a full
     // block decode per distinct touched block (the default, paper-faithful
     // CPU baseline — see cpu/intersect.h on ef_random_access). A
@@ -116,6 +178,36 @@ sim::Duration Scheduler::estimate_cpu(const StepShape& s) const {
   return t;
 }
 
+sim::Duration Scheduler::selective_gpu_time(double ns,
+                                            const StepShape& s) const {
+  const auto& g = hw_.gpu;
+  const double nl = static_cast<double>(s.longer);
+  // Roughly five launches per step (search + decode + search + compact).
+  sim::Duration t = sim::Duration::from_us(5.0 * g.kernel_launch_us);
+  if (!opt_.assume_pooled_memory) {
+    t += sim::Duration::from_us(4.0 * hw_.pcie.alloc_us);
+  }
+  const bool resident = opt_.residency_aware &&
+                        (s.longer_device_resident || s.longer_prefetched);
+  // Only candidate blocks move and decode; the transfer term uses the
+  // list's actual compressed density. The planner always fills
+  // longer_bytes from the list's real compressed size — a guessed density
+  // here would silently skew every crossover downstream.
+  const double blocks = std::min(ns, nl / 128.0);
+  assert(s.longer == 0 || s.longer_bytes > 0);
+  const double bpe = static_cast<double>(s.longer_bytes) / std::max(nl, 1.0);
+  if (!resident) {
+    t += sim::Duration::from_us(hw_.pcie.latency_us) +
+         sim::Duration::from_ns(blocks * 128.0 * bpe /
+                                hw_.pcie.bandwidth_gbps);
+  }
+  t += sim::Duration::from_ns(ns * std::log2(std::max(nl / 128.0, 2.0)) *
+                              128.0 / g.mem_bandwidth_gbps);
+  t += sim::Duration::from_ns(blocks * 128.0 *
+                              gpu_decode_penalty_ns(s.longer_scheme));
+  return t;
+}
+
 sim::Duration Scheduler::estimate_gpu(const StepShape& s) const {
   const auto& g = hw_.gpu;
   const double ns = static_cast<double>(s.shorter);
@@ -123,17 +215,19 @@ sim::Duration Scheduler::estimate_gpu(const StepShape& s) const {
   if (s.shorter == 0) return sim::Duration();
   const double ratio = nl / ns;
 
-  // Roughly five launches per step (decode + partition + merge + compact).
-  sim::Duration t = sim::Duration::from_us(5.0 * g.kernel_launch_us);
-  if (!opt_.assume_pooled_memory) {
-    t += sim::Duration::from_us(4.0 * hw_.pcie.alloc_us);
-  }
-  // A device-resident long list (gpu/list_cache.h) skips the PCIe transfer
-  // terms entirely — §2.3's overhead is exactly what the cache removes. A
-  // prefetched one (DESIGN.md §10) already paid them on the copy engine.
-  const bool resident = opt_.residency_aware &&
-                        (s.longer_device_resident || s.longer_prefetched);
+  sim::Duration t;
   if (ratio < 128.0) {
+    // Roughly five launches per step (decode + partition + merge + compact).
+    t = sim::Duration::from_us(5.0 * g.kernel_launch_us);
+    if (!opt_.assume_pooled_memory) {
+      t += sim::Duration::from_us(4.0 * hw_.pcie.alloc_us);
+    }
+    // A device-resident long list (gpu/list_cache.h) skips the PCIe
+    // transfer terms entirely — §2.3's overhead is exactly what the cache
+    // removes. A prefetched one (DESIGN.md §10) already paid them on the
+    // copy engine.
+    const bool resident = opt_.residency_aware &&
+                          (s.longer_device_resident || s.longer_prefetched);
     // Transfer the compressed long list, decode everything, merge. With
     // double buffering the H2D streams under the decode, so the two terms
     // cost their max, not their sum.
@@ -149,21 +243,7 @@ sim::Duration Scheduler::estimate_gpu(const StepShape& s) const {
     t += opt_.overlap_aware ? sim::max(xfer, mem) : xfer + mem;
     t += sim::Duration::from_ns(nl * gpu_decode_penalty_ns(s.longer_scheme));
   } else {
-    // Only candidate blocks move and decode; the transfer term uses the
-    // list's actual compressed density, not a fixed bytes-per-posting
-    // guess (falls back to ~1 B/elem when the planner left bytes unset).
-    const double blocks = std::min(ns, nl / 128.0);
-    const double bpe =
-        s.longer_bytes > 0 ? static_cast<double>(s.longer_bytes) / nl : 1.0;
-    if (!resident) {
-      t += sim::Duration::from_us(hw_.pcie.latency_us) +
-           sim::Duration::from_ns(blocks * 128.0 * bpe /
-                                  hw_.pcie.bandwidth_gbps);
-    }
-    t += sim::Duration::from_ns(ns * std::log2(std::max(nl / 128.0, 2.0)) *
-                                128.0 / g.mem_bandwidth_gbps);
-    t += sim::Duration::from_ns(blocks * 128.0 *
-                                gpu_decode_penalty_ns(s.longer_scheme));
+    t = selective_gpu_time(ns, s);
   }
   // Migration: intermediate currently on the CPU must be shipped over.
   if (s.current_location == Placement::kCpu) {
@@ -171,6 +251,68 @@ sim::Duration Scheduler::estimate_gpu(const StepShape& s) const {
          sim::Duration::from_ns(ns * 4.0 / hw_.pcie.bandwidth_gbps);
   }
   return t;
+}
+
+sim::Duration Scheduler::estimate_split(const StepShape& s,
+                                        double alpha) const {
+  if (s.shorter == 0) return sim::Duration();
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  const auto n_gpu = static_cast<std::uint64_t>(
+      std::llround(alpha * static_cast<double>(s.shorter)));
+  const std::uint64_t n_cpu = s.shorter - std::min(n_gpu, s.shorter);
+  const auto probe_xfer = [&](std::uint64_t n) {
+    return sim::Duration::from_us(hw_.pcie.latency_us) +
+           sim::Duration::from_ns(static_cast<double>(n) * 4.0 /
+                                  hw_.pcie.bandwidth_gbps);
+  };
+
+  // CPU leg: the (1-alpha) low range through the same closed form as a
+  // whole CPU step of that size — the leg's own ratio picks its skip/merge
+  // regime, matching SvsStepper::partial_step. Only the leg's own share of
+  // the intermediate migrates back when it lives on the device.
+  sim::Duration cpu_leg;
+  if (n_cpu > 0) {
+    StepShape cs = s;
+    cs.shorter = n_cpu;
+    cs.current_location = Placement::kCpu;  // migration priced here, not there
+    cpu_leg = estimate_cpu(cs);
+    if (s.current_location == Placement::kGpu) cpu_leg += probe_xfer(n_cpu);
+  }
+
+  // GPU leg: the alpha high range always runs the selective binary-search
+  // path (the only kernel the split executes), pays the probe H2D when the
+  // probes start host-side, and always pays the D2H of its partial (bounded
+  // by the probe count — every match is a probe).
+  sim::Duration gpu_leg;
+  if (n_gpu > 0) {
+    StepShape gs = s;
+    gs.shorter = n_gpu;
+    gs.current_location = Placement::kGpu;
+    gpu_leg = selective_gpu_time(static_cast<double>(n_gpu), gs);
+    if (s.current_location != Placement::kGpu) gpu_leg += probe_xfer(n_gpu);
+    gpu_leg += probe_xfer(n_gpu);
+  }
+
+  // The legs run concurrently on the timeline: the step costs their max.
+  return sim::max(cpu_leg, gpu_leg);
+}
+
+sim::Duration Scheduler::estimate_host_decode(std::uint64_t n,
+                                              codec::Scheme sc) const {
+  // Mirrors decode_all's full charge, not just the per-element decode: the
+  // materialization surcharge dominates a full-list decode (24 scalar
+  // cycles/element vs ~2 for the decode itself), and the output writes hit
+  // the memory-bandwidth roofline. Underpricing here would stage decodes
+  // that blow past the device step they were meant to hide under.
+  sim::CpuSpec c = hw_.cpu;
+  if (!opt_.simd_aware) c.vector.enabled = false;
+  const double cycles =
+      static_cast<double>(n) * (cpu::simd::effective_decode_cycles(c, sc) +
+                                cpu::simd::effective_materialize_cycles(c));
+  const sim::Duration compute = sim::Duration::from_cycles(cycles, c.clock_ghz);
+  const sim::Duration bw = sim::Duration::from_ns(
+      static_cast<double>(n) * 4.0 / c.mem_bandwidth_gbps);
+  return sim::max(compute, bw);
 }
 
 }  // namespace griffin::core

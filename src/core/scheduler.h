@@ -28,6 +28,10 @@ enum class SchedulerPolicy : std::uint8_t {
   kCostModel,       ///< pick the processor with the lower estimated step time
   kAlwaysCpu,       ///< degenerate policies for the static baselines
   kAlwaysGpu,
+  /// Degenerate co-execution policy: every intersect splits across both
+  /// processors (alpha from the cost model, or forced_split_alpha). Used by
+  /// the split-parity tests and the co-exec ablation.
+  kAlwaysSplit,
 };
 
 struct SchedulerOptions {
@@ -75,6 +79,40 @@ struct SchedulerOptions {
   /// so the GPU-favored band shrinks (DESIGN.md §13 derives the scale).
   /// No-op for a scalar CpuSpec; off = decide as if the CPU were scalar.
   bool simd_aware = true;
+  /// Three-way co-execution (DESIGN.md §15): decide() may return kSplit,
+  /// dividing the probe side between both processors. kRatioThreshold
+  /// generalizes its crossover into the band
+  /// [threshold / split_band, threshold * split_band): inside it the
+  /// decision falls through to the three-way cost comparison (outside it
+  /// the binary ratio rule is untouched). kCostModel compares
+  /// min_alpha t_split against t_cpu and t_gpu directly.
+  bool split = true;
+  /// Half-width (multiplicative) of the ratio-policy split band.
+  double split_band = 4.0;
+  /// Never split a probe side smaller than this: the GPU leg's fixed costs
+  /// (kernel launches, probe H2D, partial D2H) need work to amortize over.
+  std::uint64_t split_min_probe = 4096;
+  /// Split only when min_alpha t_split undercuts the best single-processor
+  /// estimate by at least this fraction — hysteresis against splitting for
+  /// wins inside the cost model's noise floor.
+  double split_min_gain = 0.05;
+  /// kAlwaysSplit (tests/ablation): pin alpha instead of deriving it from
+  /// the cost model. Negative = derive. 0 and 1 are the degenerate splits
+  /// (all-CPU / all-GPU through the split machinery).
+  double forced_split_alpha = -1.0;
+  /// Inter-step pipelining (DESIGN.md §15): the planner marks steps with no
+  /// data dependence so the executor issues them on whichever processor the
+  /// current step leaves idle — kPrefetch uploads during CPU-placed
+  /// intersects (the copy engine is free) and kHostDecode work-ahead during
+  /// GPU-placed ones (the host core is free).
+  bool pipeline_idle = true;
+  /// A prefetch staged during a CPU-placed intersect is only worth paying
+  /// for when the predicted device consumer survives the intersect cutting
+  /// the intermediate: the prediction must also hold at probe size
+  /// shorter / this factor, else the upload is pure loss the moment the
+  /// shrunken ratio re-favors the host. Applies to the pipeline_idle path
+  /// only (device-placed steps keep the unconditional prefetch).
+  double prefetch_shrink_robustness = 8.0;
 };
 
 // StepShape (the scheduler's per-step input) lives in core/query.h so trace
@@ -87,14 +125,45 @@ class Scheduler {
 
   const SchedulerOptions& options() const { return opt_; }
 
+  /// Three-way placement (DESIGN.md §15): kCpu, kGpu, or kSplit. Pure
+  /// function of the shape and the options, so trace records replay
+  /// (decide(rec.shape) == rec.placement) for split steps too.
   Placement decide(const StepShape& s) const;
+
+  /// The GPU's probe share for a kSplit decision on this shape: the
+  /// throughput-proportional fraction minimizing estimate_split over a
+  /// fixed alpha grid (or forced_split_alpha when pinned). Deterministic,
+  /// so IntersectStep::alpha replays from the recorded shape.
+  double split_alpha(const StepShape& s) const;
 
   /// Closed-form step-time estimates used by kCostModel (public for tests
   /// and the scheduling ablation).
   sim::Duration estimate_cpu(const StepShape& s) const;
   sim::Duration estimate_gpu(const StepShape& s) const;
+  /// Estimated time of a split step at GPU share `alpha`:
+  ///   max(alpha-share on the GPU + its transfers,
+  ///       (1-alpha)-share on the CPU + its migration D2H).
+  /// The GPU leg always prices the selective binary-search path (the only
+  /// kernel the split executes) plus the probe H2D and the partial's D2H;
+  /// the CPU leg reuses estimate_cpu on its share.
+  sim::Duration estimate_split(const StepShape& s, double alpha) const;
+  /// Estimated host-side decode time of a `n`-posting list in scheme `s`
+  /// (the kHostDecode work-ahead gate: hide it under the device step only
+  /// if it fits).
+  sim::Duration estimate_host_decode(std::uint64_t n, codec::Scheme sc) const;
 
  private:
+  /// {best alpha, its estimate_split} over the deterministic alpha grid.
+  std::pair<double, sim::Duration> best_split(const StepShape& s) const;
+  /// The selective (binary-search over skip table, candidate blocks only)
+  /// GPU path priced for `ns` probes — shared by estimate_gpu's high-ratio
+  /// branch and the split GPU leg.
+  sim::Duration selective_gpu_time(double ns, const StepShape& s) const;
+  /// The three-way comparison both policies share once a split is
+  /// admissible: kSplit iff min_alpha t_split beats the better single
+  /// processor by split_min_gain.
+  Placement cost_decide(const StepShape& s, bool allow_split) const;
+
   SchedulerOptions opt_;
   sim::HardwareSpec hw_;
 };

@@ -19,7 +19,7 @@ namespace griffin::cpu {
 
 struct CpuEngineOptions {
   /// Use skip_intersect when |longer| / |shorter| >= this; merge otherwise.
-  double skip_ratio = 32.0;
+  double skip_ratio = kDefaultSkipRatio;
   /// Charge EF in-block random access in the skip path (an improvement over
   /// the paper's PForDelta-era CPU baseline; see cpu/intersect.h).
   bool ef_random_access = false;

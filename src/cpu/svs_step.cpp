@@ -107,6 +107,51 @@ void SvsStepper::next_step(std::vector<codec::DocId>& current, index::TermId t,
   m.placements.push_back(core::Placement::kCpu);
 }
 
+void SvsStepper::materialize_probes(index::TermId t,
+                                    std::vector<codec::DocId>& out,
+                                    core::QueryMetrics& m) {
+  sim::CpuCostAccumulator acc(spec_);
+  const auto probes = decode_via_cache(t, probe_scratch_, acc, m);
+  out.assign(probes.begin(), probes.end());
+  m.add_stage(acc.time(), &m.intersect);
+  m.simd += acc.simd();
+}
+
+void SvsStepper::partial_step(std::span<const codec::DocId> probes,
+                              index::TermId t, std::vector<codec::DocId>& out,
+                              core::QueryMetrics& m) {
+  out.clear();
+  if (probes.empty()) return;
+  const auto& lt = idx_->list(t).docids;
+  sim::CpuCostAccumulator acc(spec_);
+  const double ratio = static_cast<double>(lt.size()) /
+                       static_cast<double>(probes.size());
+  if (ratio >= opt_.skip_ratio) {
+    if (const auto* target = cached_only(t, m)) {
+      skip_intersect(probes, std::span<const codec::DocId>(*target), out, acc);
+    } else {
+      skip_intersect(probes, lt, out, acc, opt_.ef_random_access);
+    }
+  } else {
+    if (const auto* target = cached_only(t, m)) {
+      merge_intersect(probes, std::span<const codec::DocId>(*target), out,
+                      acc);
+    } else {
+      merge_intersect(probes, lt, out, acc);
+    }
+  }
+  m.add_stage(acc.time(), &m.intersect);
+  m.simd += acc.simd();
+}
+
+void SvsStepper::decode_ahead(index::TermId t, core::QueryMetrics& m) {
+  if (host_decoded(t)) return;  // already paid — nothing to work ahead on
+  sim::CpuCostAccumulator acc(spec_);
+  decode_via_cache(t, probe_scratch_, acc, m);
+  m.add_stage(acc.time(), &m.decode);
+  m.simd += acc.simd();
+}
+
 void SvsStepper::decode_single(index::TermId t, std::vector<codec::DocId>& out,
                                core::QueryMetrics& m) {
   sim::CpuCostAccumulator acc(spec_);

@@ -28,9 +28,15 @@
 
 namespace griffin::cpu {
 
+/// The CPU-side merge/skip crossover (paper §2.2): skip_intersect when
+/// |longer| / |shorter| >= this, merge below. The single definition shared
+/// by SvsOptions, CpuEngineOptions and the scheduler's CPU cost estimate —
+/// previously three literal 32.0s that could drift apart.
+inline constexpr double kDefaultSkipRatio = 32.0;
+
 struct SvsOptions {
   /// Use skip_intersect when |longer| / |shorter| >= this; merge otherwise.
-  double skip_ratio = 32.0;
+  double skip_ratio = kDefaultSkipRatio;
   /// Charge EF in-block random access in the compressed skip path.
   bool ef_random_access = false;
 };
@@ -55,6 +61,33 @@ class SvsStepper {
   /// Single-term query: decodes the whole list. Charges m.decode.
   void decode_single(index::TermId t, std::vector<codec::DocId>& out,
                      core::QueryMetrics& m);
+
+  // ---- Co-execution support (DESIGN.md §15) ----------------------------
+
+  /// Materializes the probe side of a split first-pair intersect: decodes
+  /// list t fully (via the cache, like the skip path's probe decode) into
+  /// `out`. Charges m.intersect — the decode is part of the intersect step,
+  /// exactly as in the unsplit skip path. No placement is recorded; the
+  /// executor records one kSplit placement for the whole step.
+  void materialize_probes(index::TermId t, std::vector<codec::DocId>& out,
+                          core::QueryMetrics& m);
+
+  /// The CPU leg of a split intersect: intersects the (sorted, decoded)
+  /// probe range with list t, appending matches to `out`. Chooses skip vs
+  /// merge by the leg's own length ratio — the same rule next_step applies,
+  /// with the same cache interplay — so a degenerate alpha=0 split computes
+  /// exactly what the unsplit CPU step would. Charges m.intersect; records
+  /// no placement.
+  void partial_step(std::span<const codec::DocId> probes, index::TermId t,
+                    std::vector<codec::DocId>& out, core::QueryMetrics& m);
+
+  /// Inter-step pipelining (kHostDecode): decodes list t into the decoded
+  /// cache while the device runs the current step. Charges m.decode with
+  /// exactly the cost a later consumer would have paid; with the cache
+  /// disabled (or the list too big to fit) the decode is charged and the
+  /// result discarded — the planner bet on hiding it either way. No-op
+  /// (zero charge) when t is already cached.
+  void decode_ahead(index::TermId t, core::QueryMetrics& m);
 
   /// Stat-free residency probe (core::StepShape::longer_host_decoded).
   bool host_decoded(index::TermId t) const {

@@ -19,7 +19,8 @@ GpuIntersectResult binary_search_intersect(simt::Device& dev,
                                            const DeviceList& target,
                                            const pcie::Link& link,
                                            pcie::TransferLedger& ledger,
-                                           bool deferred_payload) {
+                                           bool deferred_payload,
+                                           std::uint64_t probe_offset) {
   GpuIntersectResult res;
   if (np == 0 || target.size == 0) {
     res.result = dev.alloc<DocId>(1);
@@ -43,7 +44,7 @@ GpuIntersectResult binary_search_intersect(simt::Device& dev,
       dev, {simt::blocks_for(np, kThreads), kThreads}, [&](simt::Block& blk) {
         blk.for_each_thread([&](simt::Thread& t) {
           if (t.gid() >= np) return;
-          const DocId p = t.load(probes, t.gid());
+          const DocId p = t.load(probes, probe_offset + t.gid());
           std::uint32_t lo = 0, hi = nb;
           while (lo < hi) {
             const std::uint32_t mid = (lo + hi) / 2;
@@ -123,7 +124,7 @@ GpuIntersectResult binary_search_intersect(simt::Device& dev,
         blk.for_each_thread([&](simt::Thread& t) {
           std::uint32_t found = 0;
           if (t.gid() < np) {
-            const DocId p = t.load(probes, t.gid());
+            const DocId p = t.load(probes, probe_offset + t.gid());
             const std::uint32_t bidx = t.load(probe_block, t.gid());
             if (bidx != kNoBlock) {
               const std::uint32_t slot = t.load(slots_dev, bidx);

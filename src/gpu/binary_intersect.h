@@ -16,16 +16,20 @@
 
 namespace griffin::gpu {
 
-/// Intersects decoded ascending probes (first `np` of `probes`) with a
-/// compressed EF device list. Returns matches on device. If the list was
-/// uploaded with defer_payload, pass deferred_payload=true and only the
-/// candidate blocks' payload transfer is charged (paper §3.1.2).
+/// Intersects decoded ascending probes (`np` elements of `probes` starting
+/// at `probe_offset`) with a compressed EF device list. Returns matches on
+/// device. If the list was uploaded with defer_payload, pass
+/// deferred_payload=true and only the candidate blocks' payload transfer is
+/// charged (paper §3.1.2). A nonzero probe_offset runs the kernel over a
+/// suffix of a device-resident probe buffer — the GPU leg of a split
+/// intersect (DESIGN.md §15) — without slicing or re-uploading it.
 GpuIntersectResult binary_search_intersect(simt::Device& dev,
                                            const simt::DeviceBuffer<DocId>& probes,
                                            std::uint64_t np,
                                            const DeviceList& target,
                                            const pcie::Link& link,
                                            pcie::TransferLedger& ledger,
-                                           bool deferred_payload = false);
+                                           bool deferred_payload = false,
+                                           std::uint64_t probe_offset = 0);
 
 }  // namespace griffin::gpu

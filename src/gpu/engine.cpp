@@ -380,6 +380,91 @@ std::vector<DocId> GpuExecutor::download_intermediate(core::QueryMetrics& m) {
   return out;
 }
 
+GpuIntersectResult GpuExecutor::binary_search_over(
+    index::TermId t, const simt::DeviceBuffer<DocId>& probes, std::uint64_t np,
+    std::uint64_t probe_offset, pcie::TransferLedger& ledger,
+    core::QueryMetrics& m, std::optional<AcquiredList>& pf) {
+  if ((pf = take_prefetched(t, m))) {
+    return binary_search_intersect(device_, probes, np, pf->view(), link_,
+                                   ledger, /*deferred_payload=*/false,
+                                   probe_offset);
+  }
+  if (const DeviceList* resident =
+          cache_.enabled() ? cache_.lookup(t) : nullptr) {
+    ++m.cache.device_hits;
+    return binary_search_intersect(device_, probes, np, *resident, link_,
+                                   ledger, /*deferred_payload=*/false,
+                                   probe_offset);
+  }
+  if (cache_.enabled()) ++m.cache.device_misses;
+  DeviceList dlist = upload_list(device_, idx_->list(t).docids, link_, ledger,
+                                 /*defer_payload=*/true);
+  return binary_search_intersect(device_, probes, np, dlist, link_, ledger,
+                                 /*deferred_payload=*/true, probe_offset);
+}
+
+std::vector<DocId> GpuExecutor::download_partial(
+    const simt::DeviceBuffer<DocId>& buf, std::uint64_t count,
+    core::QueryMetrics& m) {
+  std::vector<DocId> out(count);
+  pcie::TransferLedger ledger;
+  bind_ledger(ledger, m);  // bound after the kernels: the D2H waits them out
+  device_.download(std::span<DocId>(out), buf);
+  ledger.add_transfer(link_, count * sizeof(DocId), /*h2d=*/false);
+  charge_ledger(ledger, m);
+  return out;
+}
+
+std::vector<DocId> GpuExecutor::split_intersect_host(
+    index::TermId t, std::span<const DocId> probes, core::QueryMetrics& m) {
+  pcie::TransferLedger ledger;
+  bind_ledger(ledger, m);
+  auto dprobes = device_.alloc<DocId>(std::max<std::size_t>(probes.size(), 1));
+  ledger.add_alloc(link_);
+  device_.upload(dprobes, probes);
+  ledger.add_transfer(link_, probes.size_bytes(), /*h2d=*/true);
+  std::optional<AcquiredList> pf;
+  GpuIntersectResult r =
+      binary_search_over(t, dprobes, probes.size(), 0, ledger, m, pf);
+  charge_ledger(ledger, m);
+  charge_kernel(r.stats, &m.intersect, m, r.kernels);
+  if (pf.has_value()) commit(std::move(*pf), m);
+  return download_partial(r.result, r.count, m);
+}
+
+std::vector<DocId> GpuExecutor::split_intersect_device(
+    index::TermId t, std::uint64_t probe_offset, core::QueryMetrics& m) {
+  assert(has_intermediate());
+  assert(probe_offset <= current_count_);
+  const std::uint64_t np = current_count_ - probe_offset;
+  pcie::TransferLedger ledger;
+  bind_ledger(ledger, m);
+  std::optional<AcquiredList> pf;
+  GpuIntersectResult r =
+      binary_search_over(t, current_, np, probe_offset, ledger, m, pf);
+  charge_ledger(ledger, m);
+  charge_kernel(r.stats, &m.intersect, m, r.kernels);
+  if (pf.has_value()) commit(std::move(*pf), m);
+  // The split leaves the merged result host-side: the device copy of the
+  // probes is spent.
+  current_ = simt::DeviceBuffer<DocId>();
+  current_count_ = kNoIntermediate;
+  return download_partial(r.result, r.count, m);
+}
+
+std::vector<DocId> GpuExecutor::download_intermediate_prefix(
+    std::uint64_t n, core::QueryMetrics& m) {
+  assert(has_intermediate());
+  assert(n <= current_count_);
+  std::vector<DocId> out(n);
+  pcie::TransferLedger ledger;
+  bind_ledger(ledger, m);
+  device_.download(std::span<DocId>(out), current_);
+  ledger.add_transfer(link_, n * sizeof(DocId), /*h2d=*/false);
+  charge_ledger(ledger, m);
+  return out;
+}
+
 // GpuEngine::execute lives in core/engine_drivers.cpp: it is the shared
 // planner/executor driver under the kAlwaysGpu policy.
 

@@ -143,6 +143,40 @@ class GpuExecutor {
   /// Downloads the intermediate result (GPU -> CPU migration / final).
   std::vector<DocId> download_intermediate(core::QueryMetrics& m);
 
+  // ---- Co-execution support (DESIGN.md §15) ----------------------------
+
+  /// GPU leg of a split intersect over host-resident probes: uploads the
+  /// probe range, binary-searches list t over it (selected blocks only —
+  /// the split's GPU leg always runs the §3.1.2 path), and downloads the
+  /// partial result. The D2H is charged on its own ledger bound *after* the
+  /// kernels, so on the timeline it waits them out. Leaves any device
+  /// intermediate untouched.
+  std::vector<DocId> split_intersect_host(index::TermId t,
+                                          std::span<const DocId> probes,
+                                          core::QueryMetrics& m);
+
+  /// GPU leg of a split intersect when the probes are the device-resident
+  /// intermediate: runs over its [probe_offset, count) suffix in place (no
+  /// re-upload), downloads the partial, and consumes the intermediate — a
+  /// split step always leaves the merged result host-side.
+  std::vector<DocId> split_intersect_device(index::TermId t,
+                                            std::uint64_t probe_offset,
+                                            core::QueryMetrics& m);
+
+  /// Downloads the first n elements of the device intermediate (the CPU
+  /// leg's probe prefix in a split) without consuming it and without
+  /// dropping in-flight prefetches — unlike download_intermediate, the
+  /// query is not leaving the device.
+  std::vector<DocId> download_intermediate_prefix(std::uint64_t n,
+                                                  core::QueryMetrics& m);
+
+  /// Releases the device intermediate without charges: a degenerate alpha=0
+  /// split already drained all of it to the host via the prefix download.
+  void drop_intermediate() {
+    current_ = simt::DeviceBuffer<DocId>();
+    current_count_ = kNoIntermediate;
+  }
+
   bool has_intermediate() const { return current_count_ != kNoIntermediate; }
   std::uint64_t intermediate_count() const { return current_count_; }
 
@@ -194,6 +228,23 @@ class GpuExecutor {
   /// against per-chunk decode kernels.
   simt::DeviceBuffer<DocId> decode_full_list(index::TermId t,
                                              core::QueryMetrics& m);
+  /// The binary-search target acquisition shared by the split legs:
+  /// prefetched > cache hit > deferred (skip table + candidate blocks only)
+  /// upload, with the same stats and caching rules as intersect_next's
+  /// high-ratio arm. `pf` receives the consumed prefetch, if any, so the
+  /// caller can commit() it after the kernels ran.
+  GpuIntersectResult binary_search_over(index::TermId t,
+                                        const simt::DeviceBuffer<DocId>& probes,
+                                        std::uint64_t np,
+                                        std::uint64_t probe_offset,
+                                        pcie::TransferLedger& ledger,
+                                        core::QueryMetrics& m,
+                                        std::optional<AcquiredList>& pf);
+  /// D2H of a split leg's partial matches on a fresh ledger bound after the
+  /// leg's kernels (so the copy waits them out on the timeline).
+  std::vector<DocId> download_partial(const simt::DeviceBuffer<DocId>& buf,
+                                      std::uint64_t count,
+                                      core::QueryMetrics& m);
   void charge_kernel(const sim::KernelStats& s, sim::Duration* stage,
                      core::QueryMetrics& m, std::uint32_t kernels = 1);
   void charge_ledger(const pcie::TransferLedger& ledger, core::QueryMetrics& m);

@@ -62,7 +62,9 @@ std::string record_line(const char* engine, std::size_t qi,
                 static_cast<unsigned long long>(m.migrations));
   out += buf;
   for (const auto p : m.placements) {
-    out += p == core::Placement::kGpu ? 'G' : 'C';
+    out += p == core::Placement::kGpu ? 'G'
+           : p == core::Placement::kSplit ? 'S'
+                                          : 'C';
   }
   std::snprintf(buf, sizeof(buf), "|cache=%llu,%llu,%llu,%llu,%llu,%llu",
                 static_cast<unsigned long long>(m.cache.device_hits),

@@ -211,3 +211,109 @@ TEST(Scheduler, HighRatioTransferChargesActualCompressedBytes) {
   // The CPU side decodes from host memory: transfer bytes are irrelevant.
   EXPECT_EQ(sched.estimate_cpu(dense).ps(), sched.estimate_cpu(loose).ps());
 }
+
+// ---- Three-way co-execution (DESIGN.md §15) --------------------------------
+
+namespace {
+/// A shape big enough to clear split_min_probe, placed like a mid-query
+/// intersect (intermediate on the CPU, compressed long list at ~1 B/elem).
+StepShape big_shape(double ratio) {
+  const std::uint64_t shorter = 1u << 20;
+  StepShape s = shape(shorter, static_cast<std::uint64_t>(ratio * shorter),
+                      Placement::kCpu);
+  s.longer_bytes = s.longer;
+  return s;
+}
+}  // namespace
+
+TEST(SchedulerSplit, RatioPolicyGeneralizesIntoABand) {
+  Scheduler sched;  // defaults: threshold 128, split_band 4
+  // Below the band one processor dominates and the binary rule stands.
+  EXPECT_EQ(sched.decide(big_shape(16.0)), Placement::kGpu);
+  // Above it likewise.
+  EXPECT_EQ(sched.decide(big_shape(512.0)), Placement::kCpu);
+  EXPECT_EQ(sched.decide(big_shape(2000.0)), Placement::kCpu);
+  // Inside the band the three-way cost comparison takes over: near the
+  // lower edge the GPU still wins outright, past the crossover both
+  // processors finish in comparable time and the split wins.
+  EXPECT_EQ(sched.decide(big_shape(48.0)), Placement::kGpu);
+  EXPECT_EQ(sched.decide(big_shape(128.0)), Placement::kSplit);
+  EXPECT_EQ(sched.decide(big_shape(400.0)), Placement::kSplit);
+}
+
+TEST(SchedulerSplit, SmallProbesNeverSplit) {
+  Scheduler sched;
+  // Identical ratio, probe below split_min_probe: the GPU leg's fixed costs
+  // have nothing to amortize over, so the binary rule stands.
+  StepShape s = shape(1000, 128'000, Placement::kCpu);
+  EXPECT_EQ(sched.decide(s), Placement::kCpu);
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kCostModel;
+  Scheduler cost(opt);
+  EXPECT_NE(cost.decide(s), Placement::kSplit);
+}
+
+TEST(SchedulerSplit, SplitCanBeDisabled) {
+  SchedulerOptions opt;
+  opt.split = false;
+  Scheduler sched(opt);
+  EXPECT_EQ(sched.decide(big_shape(128.0)), Placement::kCpu);  // plain rule
+  opt.policy = SchedulerPolicy::kCostModel;
+  Scheduler cost(opt);
+  EXPECT_NE(cost.decide(big_shape(128.0)), Placement::kSplit);
+}
+
+TEST(SchedulerSplit, SplitEstimateBracketsAndBeatsAtChosenAlpha) {
+  Scheduler sched;
+  const StepShape s = big_shape(192.0);
+  ASSERT_EQ(sched.decide(s), Placement::kSplit);
+  const double alpha = sched.split_alpha(s);
+  EXPECT_GT(alpha, 0.0);
+  EXPECT_LT(alpha, 1.0);
+  const auto t_split = sched.estimate_split(s, alpha);
+  const auto t_cpu = sched.estimate_cpu(s);
+  const auto t_gpu = sched.estimate_gpu(s);
+  const auto best = t_cpu.ps() < t_gpu.ps() ? t_cpu : t_gpu;
+  // The min-gain gate: the chosen split undercuts the better single
+  // processor by at least split_min_gain.
+  EXPECT_LT(static_cast<double>(t_split.ps()),
+            (1.0 - sched.options().split_min_gain) *
+                static_cast<double>(best.ps()));
+  // Degenerate alphas price (at least) the full single-processor work, so
+  // the grid never prefers a sham split.
+  EXPECT_GE(sched.estimate_split(s, 0.0).ps(), t_cpu.ps());
+}
+
+TEST(SchedulerSplit, AlphaIsDeterministicAndForceable) {
+  Scheduler a;
+  Scheduler b;
+  const StepShape s = big_shape(256.0);
+  EXPECT_EQ(a.split_alpha(s), b.split_alpha(s));  // pure function of shape
+
+  SchedulerOptions opt;
+  opt.forced_split_alpha = 0.25;
+  Scheduler forced(opt);
+  EXPECT_DOUBLE_EQ(forced.split_alpha(s), 0.25);
+  opt.forced_split_alpha = 7.0;  // clamped into [0, 1]
+  Scheduler clamped(opt);
+  EXPECT_DOUBLE_EQ(clamped.split_alpha(s), 1.0);
+}
+
+TEST(SchedulerSplit, AlwaysSplitPolicy) {
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kAlwaysSplit;
+  Scheduler sched(opt);
+  EXPECT_EQ(sched.decide(shape(10, 10)), Placement::kSplit);
+  EXPECT_EQ(sched.decide(shape(0, 1000)), Placement::kCpu);  // nothing to do
+}
+
+TEST(SchedulerSplit, MinGainGateSuppressesMarginalSplits) {
+  // With the gain requirement cranked up no split can qualify; the
+  // three-way comparison degrades to the plain two-way one.
+  SchedulerOptions opt;
+  opt.policy = SchedulerPolicy::kCostModel;
+  opt.split_min_gain = 1.0;
+  Scheduler sched(opt);
+  EXPECT_NE(sched.decide(big_shape(128.0)), Placement::kSplit);
+  EXPECT_NE(sched.decide(big_shape(256.0)), Placement::kSplit);
+}
