@@ -394,13 +394,21 @@ inline Json resource_utilization_json(
   return j;
 }
 
-/// Fault/degradation counters (DESIGN.md §11) as a JSON object.
+/// Fault/degradation counters (DESIGN.md §11/§16) as a JSON object.
 inline Json fault_json(const fault::FaultCounters& f) {
   Json j = Json::object();
   j["gpu_faults"] = f.gpu_faults;
   j["pcie_errors"] = f.pcie_errors;
+  j["split_leg_faults"] = f.split_leg_faults;
+  j["prefetch_faults"] = f.prefetch_faults;
+  j["oom_faults"] = f.oom_faults;
+  j["oom_evictions"] = f.oom_evictions;
+  j["oom_evicted_bytes"] = f.oom_evicted_bytes;
+  j["oom_unfused"] = f.oom_unfused;
+  j["oom_degraded_steps"] = f.oom_degraded_steps;
   j["gpu_wasted_us"] = f.gpu_wasted.us();
   j["pcie_retry_us"] = f.pcie_retry_time.us();
+  j["oom_recovery_us"] = f.oom_recovery.us();
   j["replica_failures"] = f.replica_failures;
   j["failovers"] = f.failovers;
   j["slow_replicas"] = f.slow_replicas;

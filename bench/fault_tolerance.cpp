@@ -14,10 +14,12 @@
 // CI determinism gate diffs them).
 #include <algorithm>
 #include <cstdio>
+#include <span>
 
 #include "bench_common.h"
 #include "cluster/broker.h"
 #include "core/hybrid_engine.h"
+#include "tenancy/device_manager.h"
 
 using namespace griffin;
 
@@ -72,10 +74,12 @@ int main() {
     ccfg.seed = 2028;
     ccfg.faults.crash.probability = rate;
     ccfg.faults.crash_window_ms = window_ms;
-    // Engine-level faults ride the same rate, scaled down: device faults
-    // and DMA errors are rarer than whole-replica trouble in practice.
+    // Engine-level faults ride the same rate, scaled down: device faults,
+    // DMA errors and memory pressure are rarer than whole-replica trouble
+    // in practice.
     ccfg.faults.gpu.probability = rate * 0.2;
     ccfg.faults.pcie.probability = rate * 0.2;
+    ccfg.faults.oom.probability = rate * 0.2;
     ccfg.faults.seed = 42;
     ccfg.shard_deadline = deadline;
     ccfg.breaker.enabled = breaker;
@@ -186,6 +190,113 @@ int main() {
   }
   std::printf("\n");
 
+  // Split-execution recovery (DESIGN.md §16): every intersect splits across
+  // both processors, and injected device faults kill GPU legs mid-step. The
+  // CPU leg's partial survives; the lost range is redone host-side. Parity
+  // against the all-CPU reference is checked inline — a bench row with
+  // parity=FAIL means the recovery path corrupted a result.
+  const std::size_t sub_n = std::min<std::size_t>(stream.size(), 120);
+  const std::span<const core::Query> sub(stream.data(), sub_n);
+  std::printf(
+      "split recovery (kAlwaysSplit engine, gpu+oom faults at the swept "
+      "rate):\n");
+  std::printf("%-6s %9s %8s %8s %8s %8s %8s %7s\n", "rate", "mean(ms)",
+              "gpufault", "legfault", "oomfault", "oomstep", "prefetch",
+              "parity");
+  bench::Json split_rows = bench::Json::array();
+  {
+    core::HybridOptions cpu_opt;
+    cpu_opt.scheduler.policy = core::SchedulerPolicy::kAlwaysCpu;
+    core::HybridEngine cpu_ref(idx, {}, cpu_opt);
+    std::vector<core::QueryResult> want;
+    want.reserve(sub_n);
+    for (const auto& q : sub) want.push_back(cpu_ref.execute(q));
+
+    for (const double rate : {0.0, 0.05, 0.10, 0.25}) {
+      core::HybridOptions opt;
+      opt.scheduler.policy = core::SchedulerPolicy::kAlwaysSplit;
+      opt.scheduler.forced_split_alpha = 0.5;
+      opt.faults.gpu.probability = rate;
+      opt.faults.oom.probability = rate;
+      opt.faults.seed = 4242;
+      core::HybridEngine engine(idx, {}, opt);
+
+      fault::FaultCounters f;
+      sim::Duration total;
+      bool parity = true;
+      for (std::size_t i = 0; i < sub_n; ++i) {
+        const auto res = engine.execute(sub[i]);
+        f += res.metrics.faults;
+        total += res.metrics.total;
+        if (res.topk.size() != want[i].topk.size()) parity = false;
+        for (std::size_t r = 0; parity && r < res.topk.size(); ++r) {
+          parity = res.topk[r].doc == want[i].topk[r].doc &&
+                   res.topk[r].score == want[i].topk[r].score;
+        }
+      }
+      const double mean_ms = 1000.0 * total.seconds() / double(sub_n);
+      std::printf("%-6.2f %9.3f %8llu %8llu %8llu %8llu %8llu %7s\n", rate,
+                  mean_ms, static_cast<unsigned long long>(f.gpu_faults),
+                  static_cast<unsigned long long>(f.split_leg_faults),
+                  static_cast<unsigned long long>(f.oom_faults),
+                  static_cast<unsigned long long>(f.oom_degraded_steps),
+                  static_cast<unsigned long long>(f.prefetch_faults),
+                  parity ? "ok" : "FAIL");
+      bench::Json row = bench::Json::object();
+      row["fault_rate"] = rate;
+      row["mean_ms"] = mean_ms;
+      row["parity"] = parity;
+      row["faults"] = bench::fault_json(f);
+      split_rows.push_back(std::move(row));
+    }
+  }
+  std::printf("\n");
+
+  // Fault-aware tenancy (DESIGN.md §16): the shared device runs the same
+  // sub-stream under batching + concurrency with the injector armed. A
+  // fault inside a fused launch degrades only the hit query; OOM pressure
+  // unfuses batches or re-plans single steps.
+  std::printf(
+      "multi-tenant device under faults (4 lanes, batching on, gpu+oom at "
+      "the swept rate):\n");
+  std::printf("%-6s %9s %9s %8s %8s %8s %8s %8s\n", "rate", "p50(ms)",
+              "p99(ms)", "gpufault", "oomfault", "unfused", "oomstep",
+              "evicted");
+  bench::Json tenancy_rows = bench::Json::array();
+  for (const double rate : {0.0, 0.05, 0.10, 0.25}) {
+    tenancy::TenancyOptions topt;
+    topt.max_concurrency = 4;
+    topt.engine.faults.gpu.probability = rate;
+    topt.engine.faults.oom.probability = rate;
+    topt.engine.faults.seed = 4242;
+    tenancy::DeviceManager dm(idx, {}, topt);
+    std::vector<tenancy::TenantQuery> load;
+    load.reserve(sub_n);
+    for (std::size_t i = 0; i < sub_n; ++i) {
+      load.push_back({sub[i], sim::Duration::from_seconds(double(i) / qps)});
+    }
+    const auto results = dm.run(load);
+    util::PercentileTracker resp;
+    for (const auto& r : results) {
+      resp.add((r.finish - r.arrival).ms());
+    }
+    const auto& f = dm.run_faults();
+    std::printf("%-6.2f %9.3f %9.3f %8llu %8llu %8llu %8llu %8llu\n", rate,
+                resp.percentile(50), resp.percentile(99),
+                static_cast<unsigned long long>(f.gpu_faults),
+                static_cast<unsigned long long>(f.oom_faults),
+                static_cast<unsigned long long>(f.oom_unfused),
+                static_cast<unsigned long long>(f.oom_degraded_steps),
+                static_cast<unsigned long long>(f.oom_evictions));
+    bench::Json row = bench::Json::object();
+    row["fault_rate"] = rate;
+    row["response_ms"] = bench::latency_json(resp);
+    row["batch_groups"] = dm.batch_groups();
+    row["faults"] = bench::fault_json(f);
+    tenancy_rows.push_back(std::move(row));
+  }
+  std::printf("\n");
+
   bench::Json root = bench::Json::object();
   root["bench"] = "fault_tolerance";
   root["fast_mode"] = bench::fast_mode();
@@ -196,6 +307,8 @@ int main() {
   root["baseline_response_ms"] = bench::latency_json(base.response_ms);
   root["rows"] = std::move(rows);
   root["persistent_outage"] = std::move(outage_rows);
+  root["split_recovery"] = std::move(split_rows);
+  root["tenancy_under_faults"] = std::move(tenancy_rows);
   bench::write_bench_json("fault_tolerance", root);
 
   std::printf(

@@ -35,6 +35,7 @@ void StepExecutor::begin_query(const Query& q) {
   query_id_ = q.id;
   step_index_ = 0;
   batch_group_ = 0;
+  leg_faulted_ = false;
   if (gpu_ != nullptr) gpu_->begin_query(tl_, q.id, release_);
 }
 
@@ -186,21 +187,49 @@ void StepExecutor::run_split(const IntersectStep& i, QueryResult& res) {
     const std::uint64_t n_gpu = split_share(i.alpha, n);
     const std::uint64_t n_cpu = n - n_gpu;
     gpu_->set_chain(entry);
-    sim::Timeline::Event cpu_ready = entry;
-    std::vector<codec::DocId> prefix;
-    if (n_cpu > 0) {
-      prefix = gpu_->download_intermediate_prefix(n_cpu, m);
-      cpu_ready = gpu_->chain();
-      gpu_->set_chain(entry);
-    }
-    if (n_gpu > 0) {
-      gpu_partial = gpu_->split_intersect_device(i.term, n_cpu, m);
-      gpu_done = gpu_->chain();
+    if (injector_ != nullptr && n_gpu > 0 &&
+        injector_->gpu_step_fault(fault_scope_, query_id_, step_index_)) {
+      // The GPU leg is lost before its kernels consumed anything
+      // (DESIGN.md §16): charge the wasted device time, retire the faulted
+      // term's cached pages, drain the WHOLE intermediate, and run both
+      // docID ranges through the CPU stepper. partial_step over [0, n_cpu)
+      // then [n_cpu, n) concatenates to exactly the unsplit intersection,
+      // so the step still completes bit-identically — only the remainder
+      // of the plan gets pinned host-side (run() returns kOkForceCpu).
+      const sim::Duration waste =
+          sim::Duration::from_us(injector_->config().gpu_fault_cost_us);
+      gpu_->charge_fault(waste, &m.intersect, m);
+      const index::TermId ft[1] = {i.term};
+      gpu_->fault_reset(std::span<const index::TermId>(ft, 1), m);
+      const sim::Timeline::Event fault_evt = gpu_->chain();
+      std::vector<codec::DocId> probes_storage =
+          gpu_->download_intermediate(m);
+      const std::span<const codec::DocId> probes(probes_storage);
+      cpu_done = run_cpu_leg(probes.first(n_cpu), i.term, cpu_out,
+                             gpu_->chain(), m);
+      gpu_done = run_cpu_leg(probes.subspan(n_cpu), i.term, gpu_partial,
+                             sim::Timeline::join(cpu_done, fault_evt), m);
+      ++m.faults.gpu_faults;
+      ++m.faults.split_leg_faults;
+      m.faults.gpu_wasted += waste;
+      leg_faulted_ = true;
     } else {
-      // Degenerate alpha=0: the prefix download drained everything.
-      gpu_->drop_intermediate();
+      sim::Timeline::Event cpu_ready = entry;
+      std::vector<codec::DocId> prefix;
+      if (n_cpu > 0) {
+        prefix = gpu_->download_intermediate_prefix(n_cpu, m);
+        cpu_ready = gpu_->chain();
+        gpu_->set_chain(entry);
+      }
+      if (n_gpu > 0) {
+        gpu_partial = gpu_->split_intersect_device(i.term, n_cpu, m);
+        gpu_done = gpu_->chain();
+      } else {
+        // Degenerate alpha=0: the prefix download drained everything.
+        gpu_->drop_intermediate();
+      }
+      cpu_done = run_cpu_leg(prefix, i.term, cpu_out, cpu_ready, m);
     }
-    cpu_done = run_cpu_leg(prefix, i.term, cpu_out, cpu_ready, m);
   } else {
     // Host-resident probes — or the first pair, whose probe list the host
     // decodes first; the device leg then waits on that op like any real
@@ -218,16 +247,40 @@ void StepExecutor::run_split(const IntersectStep& i, QueryResult& res) {
     const std::span<const codec::DocId> probes(probes_storage);
     const std::uint64_t n_gpu = split_share(i.alpha, probes.size());
     const std::uint64_t n_cpu = probes.size() - n_gpu;
-    if (n_gpu > 0) {
+    if (injector_ != nullptr && n_gpu > 0 &&
+        injector_->gpu_step_fault(fault_scope_, query_id_, step_index_)) {
+      // GPU leg lost over host-resident probes: the probe range never left
+      // the host, so recovery is just redoing the high range through the
+      // CPU stepper after the fault is detected. The redo waits out both
+      // the CPU leg (same core) and the fault event (the host learns of
+      // the abort when the device signals it).
       gpu_->set_chain(probe_ready);
-      gpu_partial =
-          gpu_->split_intersect_host(i.term, probes.subspan(n_cpu), m);
-      gpu_done = gpu_->chain();
+      const sim::Duration waste =
+          sim::Duration::from_us(injector_->config().gpu_fault_cost_us);
+      gpu_->charge_fault(waste, &m.intersect, m);
+      const index::TermId ft[1] = {i.term};
+      gpu_->fault_reset(std::span<const index::TermId>(ft, 1), m);
+      const sim::Timeline::Event fault_evt = gpu_->chain();
+      cpu_done = run_cpu_leg(probes.first(n_cpu), i.term, cpu_out,
+                             probe_ready, m);
+      gpu_done = run_cpu_leg(probes.subspan(n_cpu), i.term, gpu_partial,
+                             sim::Timeline::join(cpu_done, fault_evt), m);
+      ++m.faults.gpu_faults;
+      ++m.faults.split_leg_faults;
+      m.faults.gpu_wasted += waste;
+      leg_faulted_ = true;
     } else {
-      gpu_done = probe_ready;
+      if (n_gpu > 0) {
+        gpu_->set_chain(probe_ready);
+        gpu_partial =
+            gpu_->split_intersect_host(i.term, probes.subspan(n_cpu), m);
+        gpu_done = gpu_->chain();
+      } else {
+        gpu_done = probe_ready;
+      }
+      cpu_done = run_cpu_leg(probes.first(n_cpu), i.term, cpu_out,
+                             probe_ready, m);
     }
-    cpu_done = run_cpu_leg(probes.first(n_cpu), i.term, cpu_out, probe_ready,
-                           m);
   }
 
   // The ranges are docID-disjoint and each partial is sorted, so the
@@ -239,7 +292,8 @@ void StepExecutor::run_split(const IntersectStep& i, QueryResult& res) {
   m.placements.push_back(Placement::kSplit);
 }
 
-void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
+void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res,
+                                    sim::Duration waste, bool oom) {
   QueryMetrics& m = res.metrics;
   StepRecord rec;
   rec.faulted = true;
@@ -248,7 +302,8 @@ void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
   rec.resource = sim::Resource::kGpuCompute;
 
   // The affected terms: invalidated in the device cache by the reset (the
-  // simulated ECC error retired their pages).
+  // simulated ECC error retired their pages). A faulted transfer names no
+  // terms — the intermediate is not a cached list.
   index::TermId terms[2];
   std::size_t num_terms = 0;
   sim::Duration* stage = &m.intersect;
@@ -257,30 +312,43 @@ void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
     rec.term = d->term;
     terms[num_terms++] = d->term;
     stage = &m.decode;
-  } else {
-    const auto& i = std::get<IntersectStep>(step);
+  } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
     rec.kind = StepKind::kIntersect;
-    rec.placement = i.where;  // a faulted kSplit step records as kSplit
-    rec.term = i.term;
-    rec.shape = i.shape;
-    rec.alpha = i.alpha;
-    terms[num_terms++] = i.term;
-    if (i.first_pair) terms[num_terms++] = i.probe_term;
+    rec.placement = i->where;  // a faulted kSplit step records as kSplit
+    rec.term = i->term;
+    rec.shape = i->shape;
+    rec.alpha = i->alpha;
+    terms[num_terms++] = i->term;
+    if (i->first_pair) terms[num_terms++] = i->probe_term;
+  } else {
+    // The OOM ladder bottoming out on an H2D migration: the allocation
+    // failed before any bytes moved, so the intermediate never left the
+    // host. The waste is allocator machinery, charged as transfer time.
+    const auto& t = std::get<TransferStep>(step);
+    assert(t.direction == TransferDirection::kHostToDevice);
+    (void)t;
+    rec.kind = StepKind::kTransfer;
+    stage = &m.transfer;
   }
 
   const std::size_t ops0 = tl_->num_ops();
-  const sim::Duration waste =
-      sim::Duration::from_us(injector_->config().gpu_fault_cost_us);
   gpu_->set_chain(frontier_);
   gpu_->charge_fault(waste, stage, m);  // serial charge + compute-stream op
   gpu_->fault_reset(std::span<const index::TermId>(terms, num_terms), m);
   frontier_ = gpu_->chain();
-  ++m.faults.gpu_faults;
-  m.faults.gpu_wasted += waste;
+  if (oom) {
+    ++m.faults.oom_degraded_steps;
+    m.faults.oom_recovery += waste;
+  } else {
+    ++m.faults.gpu_faults;
+    m.faults.gpu_wasted += waste;
+  }
 
   rec.duration = waste;
   if (stage == &m.decode) {
     rec.decode = waste;
+  } else if (stage == &m.transfer) {
+    rec.transfer = waste;
   } else {
     rec.intersect = waste;
   }
@@ -296,35 +364,121 @@ void StepExecutor::abandon_gpu_step(const PlanStep& step, QueryResult& res) {
   res.trace.push_back(rec);
 }
 
-bool StepExecutor::run(const PlanStep& step, const Query& q,
-                       QueryResult& res) {
+void StepExecutor::drop_faulted_prefetch(const PrefetchStep& p,
+                                         QueryResult& res) {
+  QueryMetrics& m = res.metrics;
+  ++m.faults.prefetch_faults;
+  // Zero-duration faulted record: the fault fired before the DMA was
+  // enqueued, so nothing was charged and the device cache never saw the
+  // list. The plan continues unchanged — a prefetch is optional work whose
+  // consumer simply misses the cache later.
+  StepRecord rec;
+  rec.faulted = true;
+  rec.query = query_id_;
+  rec.kind = StepKind::kPrefetch;
+  rec.placement = Placement::kGpu;
+  rec.resource = sim::Resource::kCopyH2D;
+  rec.term = p.term;
+  rec.output_count = intermediate_count();
+  rec.issue = rec.start = rec.end = frontier_.at;
+  res.trace.push_back(rec);
+}
+
+StepStatus StepExecutor::run(const PlanStep& step, const Query& q,
+                             QueryResult& res) {
   // Co-tenant executors share one timeline; re-select this query's scope
   // so the step's ops are charged to it.
   tl_->set_scope(scope_);
-  // Pre-dispatch fault check for GPU compute steps (DESIGN.md §11): the
-  // fault fires before the step's kernels consume the intermediate, so the
-  // device state from the last committed step stays intact and the CPU
-  // re-plan can drain it through the normal migration path.
+
+  // One classification pass over the step, shared by the fault checks and
+  // the record/frontier plumbing below. GPU-dispatched steps record their
+  // own timeline ops (ledgers + kernels) chained off the plan frontier;
+  // split and host-decode steps manage their own ops inside dispatch;
+  // everything else becomes one CPU op.
+  bool gpu_step = false;          ///< dispatch drives the GpuExecutor chain
+  bool split_step = false;        ///< kSplit: both legs, joined frontier
+  bool host_decode_step = false;  ///< unchained CPU work-ahead
+  bool gpu_compute = false;       ///< kGpu-placed kernels (not kSplit)
+  bool dev_alloc = false;         ///< step allocates device memory (OOM site)
+  const auto* prefetch = std::get_if<PrefetchStep>(&step);
+  if (const auto* d = std::get_if<DecodeStep>(&step)) {
+    gpu_step = d->where == Placement::kGpu;
+    gpu_compute = gpu_step;
+    dev_alloc = gpu_step;
+  } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
+    gpu_step = i->where == Placement::kGpu;
+    split_step = i->where == Placement::kSplit;
+    gpu_compute = gpu_step;
+    // A split's GPU leg allocates too; its *compute* fault is drawn inside
+    // run_split, where losing the leg degrades only the device range.
+    dev_alloc = i->where != Placement::kCpu;
+  } else if (const auto* t = std::get_if<TransferStep>(&step)) {
+    gpu_step = true;
+    // Only the H2D direction allocates on the device; a D2H drain lands in
+    // pinned host memory.
+    dev_alloc = t->direction == TransferDirection::kHostToDevice;
+  } else if (prefetch != nullptr) {
+    gpu_step = true;
+    dev_alloc = true;
+  } else if (std::holds_alternative<HostDecodeStep>(step)) {
+    host_decode_step = true;
+  }
+
+  // Pre-dispatch fault checks (DESIGN.md §11/§16): every fault fires before
+  // the step's kernels or DMAs consume anything, so the device state from
+  // the last committed step stays intact and recovery can drain it through
+  // the normal migration path.
+  enum class OomRung : std::uint8_t { kNone, kEvict, kUnfuse };
+  OomRung rung = OomRung::kNone;
   if (injector_ != nullptr && svs_ != nullptr) {
-    bool gpu_compute = false;
-    if (const auto* d = std::get_if<DecodeStep>(&step)) {
-      gpu_compute = d->where == Placement::kGpu;
-    } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
-      // A split step's GPU leg is device compute too: the fault fires
-      // before either leg consumed anything, so recovery is unchanged.
-      gpu_compute = i->where != Placement::kCpu;
-    }
+    // An ECC-style device fault on a kGpu compute step abandons the query's
+    // device residency wholesale.
     if (gpu_compute &&
         injector_->gpu_step_fault(fault_scope_, query_id_, step_index_)) {
-      abandon_gpu_step(step, res);
+      abandon_gpu_step(
+          step, res,
+          sim::Duration::from_us(injector_->config().gpu_fault_cost_us),
+          /*oom=*/false);
       ++step_index_;
-      return false;
+      return StepStatus::kFaultQuery;
+    }
+    // The same fault on a prefetch upload just loses optional work.
+    if (prefetch != nullptr &&
+        injector_->gpu_step_fault(fault_scope_, query_id_, step_index_)) {
+      drop_faulted_prefetch(*prefetch, res);
+      ++step_index_;
+      return StepStatus::kOk;
+    }
+    // Device memory pressure at an allocation site: walk the degradation
+    // ladder (DESIGN.md §16). Rung 1 evicts cold cache bytes, rung 2
+    // unfuses the cross-query batch — both recover *on the device* and the
+    // step proceeds; a faulted prefetch is simply dropped; rung 3 abandons
+    // the step and re-plans it (and only it) host-side.
+    if (dev_alloc &&
+        injector_->oom_fault(fault_scope_, query_id_, step_index_)) {
+      ++res.metrics.faults.oom_faults;
+      if (gpu_->list_cache().size() > 0) {
+        rung = OomRung::kEvict;
+      } else if (batch_group_ != 0) {
+        rung = OomRung::kUnfuse;
+      } else if (prefetch != nullptr) {
+        drop_faulted_prefetch(*prefetch, res);
+        ++step_index_;
+        return StepStatus::kOk;
+      } else {
+        abandon_gpu_step(
+            step, res,
+            sim::Duration::from_us(injector_->config().oom_replan_cost_us),
+            /*oom=*/true);
+        ++step_index_;
+        return StepStatus::kFaultStep;
+      }
     }
   }
-  const QueryMetrics& m = res.metrics;
+
+  QueryMetrics& m = res.metrics;
   StepRecord rec;
   rec.query = query_id_;
-  rec.batch_group = batch_group_;
   const sim::Duration total0 = m.total;
   const sim::Duration decode0 = m.decode;
   const sim::Duration intersect0 = m.intersect;
@@ -334,24 +488,32 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
   const sim::SimdCounters simd0 = m.simd;
   const std::size_t ops0 = tl_->num_ops();
 
-  // GPU-dispatched steps record their own timeline ops (ledgers + kernels)
-  // chained off the plan frontier; split and host-decode steps manage their
-  // own ops inside dispatch; everything else becomes one CPU op.
-  bool gpu_step = false;
-  bool split_step = false;
-  bool host_decode_step = false;
-  if (const auto* d = std::get_if<DecodeStep>(&step)) {
-    gpu_step = d->where == Placement::kGpu;
-  } else if (const auto* i = std::get_if<IntersectStep>(&step)) {
-    gpu_step = i->where == Placement::kGpu;
-    split_step = i->where == Placement::kSplit;
-  } else if (std::holds_alternative<TransferStep>(step) ||
-             std::holds_alternative<PrefetchStep>(step)) {
-    gpu_step = true;
-  } else if (std::holds_alternative<HostDecodeStep>(step)) {
-    host_decode_step = true;
+  if (gpu_step || split_step) gpu_->set_chain(frontier_);
+  // Apply the chosen OOM rung inside the record window (after the stage
+  // snapshots, chained on the frontier), so its recovery charges show up in
+  // this step's StepRecord and the retried allocation waits the recovery
+  // out on the timeline.
+  if (rung == OomRung::kEvict) {
+    gpu_->oom_evict(m);
+    frontier_ = gpu_->chain();
+  } else if (rung == OomRung::kUnfuse) {
+    // Shrinking the fused launch back to a single query frees the K-way
+    // working set; the relaunch overhead is the recovery cost. Only the
+    // faulted query unfuses — co-batched lanes keep their tag.
+    const sim::Duration d =
+        sim::Duration::from_us(injector_->config().oom_unfuse_cost_us);
+    sim::Duration* stage = &m.intersect;
+    if (std::holds_alternative<DecodeStep>(step)) stage = &m.decode;
+    if (std::holds_alternative<TransferStep>(step) || prefetch != nullptr) {
+      stage = &m.transfer;
+    }
+    gpu_->charge_fault(d, stage, m);
+    m.faults.oom_recovery += d;
+    ++m.faults.oom_unfused;
+    set_batch(1, 0);
+    frontier_ = gpu_->chain();
   }
-  if (gpu_step) gpu_->set_chain(frontier_);
+  rec.batch_group = batch_group_;
 
   dispatch(step, q, res);
 
@@ -436,9 +598,17 @@ bool StepExecutor::run(const PlanStep& step, const Query& q,
   }
   // Every serial charge must have been mirrored as a timeline op.
   assert(tl_->scope_stats(scope_).serial == m.total);
+  rec.leg_faulted = leg_faulted_;
   res.trace.push_back(rec);
   ++step_index_;
-  return true;
+  if (leg_faulted_) {
+    // run_split lost its GPU leg but completed the step host-side: the
+    // caller pins the remainder of the plan to the CPU (the device is no
+    // longer trusted for this query).
+    leg_faulted_ = false;
+    return StepStatus::kOkForceCpu;
+  }
+  return StepStatus::kOk;
 }
 
 QueryResult run_plan(Planner& planner, StepExecutor& exec, const Query& q) {
@@ -448,11 +618,22 @@ QueryResult run_plan(Planner& planner, StepExecutor& exec, const Query& q) {
   planner.begin(q);
   while (const auto step = planner.next(exec.intermediate_count(),
                                         exec.location())) {
-    if (!exec.run(*step, q, res)) {
-      // An injected device fault abandoned this GPU step: pin the rest of
-      // the plan to the CPU and replay from the abandoned step. At most one
-      // fault fires per query — every later step is CPU-placed.
-      planner.degrade_to_cpu(*step);
+    // Injected-fault recovery (DESIGN.md §11/§16). kFaultQuery pins every
+    // later decision host-side, so at most one *device* fault fires per
+    // query; the step-scoped statuses leave later placements free, so a
+    // query can ride the OOM ladder more than once.
+    switch (exec.run(*step, q, res)) {
+      case StepStatus::kOk:
+        break;
+      case StepStatus::kOkForceCpu:
+        planner.force_cpu();
+        break;
+      case StepStatus::kFaultQuery:
+        planner.degrade_to_cpu(*step);
+        break;
+      case StepStatus::kFaultStep:
+        planner.degrade_step_to_cpu(*step);
+        break;
     }
   }
   exec.finish_query(res.metrics);

@@ -25,6 +25,26 @@
 
 namespace griffin::core {
 
+/// What StepExecutor::run did with the step, and what the planner must do
+/// next (DESIGN.md §11/§16). run_plan and the tenancy DeviceManager switch
+/// on this; the two abandon statuses both re-emit the step, differing only
+/// in how much of the remaining plan is pinned host-side.
+enum class StepStatus : std::uint8_t {
+  kOk,          ///< step ran (or an optional prefetch was dropped)
+  /// The step completed but the device is no longer trusted for this query
+  /// (a split step's GPU leg was lost and redone host-side): the caller
+  /// pins the remainder via Planner::force_cpu().
+  kOkForceCpu,
+  /// An injected device fault abandoned the step: wasted time charged,
+  /// device caches invalidated; re-plan the whole remainder via
+  /// Planner::degrade_to_cpu().
+  kFaultQuery,
+  /// The OOM ladder bottomed out (rung 3): the step was abandoned but the
+  /// pressure is transient — re-plan just this step via
+  /// Planner::degrade_step_to_cpu(); later steps decide freely.
+  kFaultStep,
+};
+
 class StepExecutor : public ResidencyProbe {
  public:
   /// `svs` and/or `gpu` may be nullptr when the scheduler policy can never
@@ -67,11 +87,10 @@ class StepExecutor : public ResidencyProbe {
 
   /// Executes one step: charges res.metrics through the backend, mirrors
   /// the charges onto the timeline, and appends the StepRecord (with its
-  /// issue/start/end placement) to res.trace. Returns false when an
-  /// injected GPU device fault abandoned the step — the wasted time is
-  /// charged, device caches are invalidated, and the caller must re-plan
-  /// via Planner::degrade_to_cpu (run_plan does).
-  bool run(const PlanStep& step, const Query& q, QueryResult& res);
+  /// issue/start/end placement) to res.trace. The returned StepStatus tells
+  /// the caller which planner recovery hook to invoke, if any — run_plan
+  /// and the tenancy DeviceManager dispatch on it.
+  StepStatus run(const PlanStep& step, const Query& q, QueryResult& res);
 
   /// Releases device buffers (dropping unconsumed prefetches into m), then
   /// settles the asynchronous accounting: m.total becomes the timeline's
@@ -111,9 +130,17 @@ class StepExecutor : public ResidencyProbe {
 
  private:
   void dispatch(const PlanStep& step, const Query& q, QueryResult& res);
-  /// The fault-abort path of run(): charges the wasted device time, resets
-  /// the GpuExecutor's per-step state, and appends the faulted StepRecord.
-  void abandon_gpu_step(const PlanStep& step, QueryResult& res);
+  /// The fault-abort path of run(): charges `waste` as lost device time,
+  /// resets the GpuExecutor's per-step state, and appends the faulted
+  /// StepRecord. `oom` selects which FaultCounters the abandon lands in
+  /// (gpu_faults/gpu_wasted vs oom_degraded_steps/oom_recovery).
+  void abandon_gpu_step(const PlanStep& step, QueryResult& res,
+                        sim::Duration waste, bool oom);
+  /// A device fault (or a bottomed-out OOM ladder) killed a kPrefetch
+  /// upload: append a zero-duration faulted record and count it. The cache
+  /// is never touched — the dropped upload cannot poison it — and the plan
+  /// continues unchanged (a prefetch is optional work).
+  void drop_faulted_prefetch(const PrefetchStep& p, QueryResult& res);
   /// Executes a kSplit intersect (DESIGN.md §15): partitions the sorted
   /// probe side at index round((1-alpha)*n) — low docID range to the CPU's
   /// SvS stepper, high range to the GPU's binary-search kernels — runs both
@@ -157,6 +184,10 @@ class StepExecutor : public ResidencyProbe {
   /// run() as the frontier since neither gpu_->chain() nor a single CPU op
   /// covers both legs.
   sim::Timeline::Event split_done_;
+  /// Set by run_split when an injected device fault killed the GPU leg
+  /// (the step still completed, host-side); consumed by run(), which marks
+  /// the StepRecord and returns kOkForceCpu.
+  bool leg_faulted_ = false;
 };
 
 /// The shared driver loop: plans and executes one query start to finish.

@@ -23,9 +23,9 @@ struct HybridOptions {
   SchedulerOptions scheduler;
   gpu::GpuOptions gpu;
   cpu::CpuEngineOptions cpu;
-  /// Fault injection (DESIGN.md §11). The engine reads the gpu and pcie
-  /// sites; everything disarmed (the default) executes bit-identically to a
-  /// build without the injector.
+  /// Fault injection (DESIGN.md §11/§16). The engine reads the gpu, pcie,
+  /// and oom sites; everything disarmed (the default) executes
+  /// bit-identically to a build without the injector.
   fault::FaultConfig faults;
   /// Fault-coordinate scope: the shard id when this engine serves a cluster
   /// shard (cluster/broker.cpp sets it), 0 standalone.

@@ -53,9 +53,49 @@ void Planner::degrade_to_cpu(const PlanStep& step) {
   }
 }
 
+void Planner::force_cpu() {
+  forced_cpu_ = true;
+  // Staged bets assumed a healthy device: the executor's recovery discarded
+  // the in-flight uploads, and the host core is about to be busy anyway.
+  staged_prefetch_.reset();
+  staged_host_decode_.reset();
+}
+
+void Planner::degrade_step_to_cpu(const PlanStep& step) {
+  staged_prefetch_.reset();
+  staged_host_decode_.reset();
+  if ([[maybe_unused]] const auto* t = std::get_if<TransferStep>(&step)) {
+    // The H2D migration's device allocation failed before the upload, so
+    // the intermediate never left the host. The already-decided pending
+    // intersect simply runs there: flip it in place, no transfer needed.
+    assert(stage_ == Stage::kPendingIntersect &&
+           t->direction == TransferDirection::kHostToDevice);
+    pending_.where = Placement::kCpu;
+    pending_.alpha = 0.0;
+    return;
+  }
+  force_next_cpu_ = true;
+  if (std::holds_alternative<DecodeStep>(step)) {
+    stage_ = Stage::kStart;
+    return;
+  }
+  const auto& i = std::get<IntersectStep>(step);
+  if (i.first_pair) {
+    stage_ = Stage::kStart;
+    next_term_ = 0;
+  } else {
+    --next_term_;
+    stage_ = Stage::kIntersect;
+  }
+}
+
 void Planner::maybe_stage_prefetch(const IntersectStep& step) {
   const SchedulerOptions& o = sched_->options();
   if (!o.prefetch) return;
+  // A degraded query never bets an upload on the device it just stopped
+  // trusting: every later consumer is CPU-pinned, so the copy would be pure
+  // loss (and, armed, a pointless extra fault site).
+  if (forced_cpu_) return;
   if (next_term_ >= terms_.size()) return;  // no later list to move
   const index::TermId nxt = terms_[next_term_];
   if (probe_->device_resident(nxt) || probe_->prefetched(nxt)) return;
@@ -127,6 +167,7 @@ void Planner::begin(const Query& q) {
   staged_prefetch_.reset();
   staged_host_decode_.reset();
   forced_cpu_ = false;
+  force_next_cpu_ = false;
 }
 
 std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
@@ -153,9 +194,10 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
       // decodes on the host — a GPU decode would round-trip the whole list
       // over PCIe for nothing. Only the static GPU baseline (kAlwaysGpu,
       // i.e. the GPU-only engine) is forced to the device.
+      const bool pin_cpu = forced_cpu_ || force_next_cpu_;
+      force_next_cpu_ = false;
       const Placement where =
-          !forced_cpu_ &&
-                  sched_->options().policy == SchedulerPolicy::kAlwaysGpu
+          !pin_cpu && sched_->options().policy == SchedulerPolicy::kAlwaysGpu
               ? Placement::kGpu
               : Placement::kCpu;
       stage_ = Stage::kDrain;
@@ -168,7 +210,9 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
     step.first_pair = true;
     step.shape = shape_for(idx_->list(terms_[0]).size(), terms_[1],
                            std::nullopt);
-    step.where = forced_cpu_ ? Placement::kCpu : sched_->decide(step.shape);
+    const bool pin_cpu = forced_cpu_ || force_next_cpu_;
+    force_next_cpu_ = false;
+    step.where = pin_cpu ? Placement::kCpu : sched_->decide(step.shape);
     if (step.where == Placement::kSplit) {
       step.alpha = sched_->split_alpha(step.shape);
     }
@@ -191,7 +235,9 @@ std::optional<PlanStep> Planner::next(std::uint64_t intermediate_count,
       IntersectStep step;
       step.term = terms_[next_term_];
       step.shape = shape_for(intermediate_count, terms_[next_term_], location);
-      step.where = forced_cpu_ ? Placement::kCpu : sched_->decide(step.shape);
+      const bool pin_cpu = forced_cpu_ || force_next_cpu_;
+      force_next_cpu_ = false;
+      step.where = pin_cpu ? Placement::kCpu : sched_->decide(step.shape);
       if (step.where == Placement::kSplit) {
         step.alpha = sched_->split_alpha(step.shape);
       }

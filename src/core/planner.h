@@ -73,8 +73,23 @@ class Planner {
   /// fault-free run; only the timing carries the wasted device charge.
   void degrade_to_cpu(const PlanStep& step);
 
+  /// Rung 3 of the OOM degradation ladder (DESIGN.md §16): the executor
+  /// abandoned `step` because its device allocation failed with nothing
+  /// left to evict or unfuse. Rewinds like degrade_to_cpu but pins only the
+  /// re-emitted decision to the CPU — memory pressure is transient, so
+  /// later steps decide freely and may return to the device. A faulted H2D
+  /// migration flips its pending intersect host-side in place (the
+  /// intermediate never left the host, so no step is re-emitted at all).
+  void degrade_step_to_cpu(const PlanStep& step);
+
+  /// Pins every remaining decision to the CPU without rewinding — the
+  /// split-leg fault path (DESIGN.md §16): the step completed (CPU leg +
+  /// host-side redo of the GPU range), but the device is no longer trusted
+  /// for this query. Also drops staged prefetch/work-ahead bets.
+  void force_cpu();
+
   /// All placement decisions are pinned to the CPU for the rest of this
-  /// query (set by degrade_to_cpu, cleared by begin).
+  /// query (set by degrade_to_cpu/force_cpu, cleared by begin).
   bool forced_cpu() const { return forced_cpu_; }
 
   /// The StepShape the scheduler would decide on for intersecting an
@@ -125,6 +140,9 @@ class Planner {
   std::optional<index::TermId> staged_prefetch_;
   std::optional<index::TermId> staged_host_decode_;
   bool forced_cpu_ = false;  ///< degraded: every decision pinned to the CPU
+  /// One-shot CPU pin (degrade_step_to_cpu): consumed by the next
+  /// decode/intersect decision, then placements are free again.
+  bool force_next_cpu_ = false;
 };
 
 }  // namespace griffin::core

@@ -108,10 +108,16 @@ struct StepRecord {
   /// kTransfer only: a mid-query placement flip (QueryMetrics::migrations),
   /// as opposed to the final device->host drain before ranking.
   bool migration = false;
-  /// The step was abandoned by an injected GPU device fault (DESIGN.md §11):
-  /// its duration is the wasted device time, its work was redone on the CPU
-  /// by the re-planned steps that follow it in the trace.
+  /// The step was abandoned by an injected GPU device fault (DESIGN.md §11)
+  /// or by the OOM ladder's re-plan rung (DESIGN.md §16): its duration is
+  /// the wasted device time, its work was redone on the CPU by the
+  /// re-planned steps that follow it in the trace.
   bool faulted = false;
+  /// kSplit only: the GPU leg was lost to an injected device fault but the
+  /// step still completed — the CPU leg's partial survived and the high
+  /// range was redone host-side (DESIGN.md §16). Unlike `faulted`, the step
+  /// did its full stage work and counts normally.
+  bool leg_faulted = false;
   sim::Duration duration;          ///< decode + intersect + transfer + rank
   sim::Duration decode;
   sim::Duration intersect;
@@ -151,6 +157,9 @@ struct TraceSummary {
   std::uint64_t host_decode_steps = 0;  ///< kHostDecode work-ahead steps
   std::uint64_t migrations = 0;      ///< transfer steps that were migrations
   std::uint64_t faulted_steps = 0;   ///< steps abandoned by injected faults
+  /// Split steps that completed with their GPU leg redone on the CPU after
+  /// an injected device fault (StepRecord::leg_faulted).
+  std::uint64_t leg_faulted_steps = 0;
   std::uint64_t batched_steps = 0;   ///< steps coalesced into a cross-query batch
   /// Summed StepRecord::duration — the *serial* stage time, i.e. per query
   /// QueryMetrics::total (critical path) + overlap.saved.
@@ -165,6 +174,7 @@ struct TraceSummary {
   void add(const StepRecord& r) {
     ++steps;
     if (r.batch_group != 0) ++batched_steps;
+    if (r.leg_faulted) ++leg_faulted_steps;
     simd += r.simd;
     if (r.faulted) {
       // An abandoned step's wasted time is real, but it did no stage work —
@@ -209,6 +219,7 @@ struct TraceSummary {
     host_decode_steps += o.host_decode_steps;
     migrations += o.migrations;
     faulted_steps += o.faulted_steps;
+    leg_faulted_steps += o.leg_faulted_steps;
     batched_steps += o.batched_steps;
     step_time += o.step_time;
     simd += o.simd;

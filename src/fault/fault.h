@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,13 @@
 #include "util/rng.h"
 
 namespace griffin::fault {
+
+/// Probabilities are per-coordinate chances; anything outside [0, 1] is a
+/// configuration bug (>1 silently behaved as always-fire before). The
+/// injector asserts on construction and clamps, so a release build with a
+/// bad config degrades to the nearest meaningful schedule instead of
+/// misreporting the rate it ran at.
+inline double clamp01(double p) { return std::clamp(p, 0.0, 1.0); }
 
 /// A scripted fault point: fires for exactly one (query, scope) pair, where
 /// scope is the shard id in a cluster (0 for a standalone engine). Scripted
@@ -59,8 +67,11 @@ struct Outage {
 
 struct FaultConfig {
   /// GPU device faults: per (scope, query, step-index) coordinate, checked
-  /// for every plan step placed on the GPU. A hit abandons the step and
-  /// degrades the rest of the query to the CPU (core/executor.cpp).
+  /// for every plan step touching GPU compute. A hit on a kGpu step
+  /// abandons it and degrades the rest of the query to the CPU; a hit on a
+  /// kSplit step loses only the GPU leg (the CPU leg's partial survives and
+  /// the high range is redone host-side); a hit on a kPrefetch drops the
+  /// upload without poisoning the device cache (core/executor.cpp).
   SiteConfig gpu;
   /// PCIe transfer errors: per (scope, query, transfer-sequence, attempt)
   /// coordinate, checked inside pcie::TransferLedger. Each failed attempt
@@ -76,10 +87,31 @@ struct FaultConfig {
   /// multiplying the primary replica's service time by `slow_factor`.
   /// cluster::StragglerConfig is an alias onto this site.
   SiteConfig slow;
+  /// Device memory pressure (DESIGN.md §16): per (scope, query, step-index)
+  /// coordinate, checked for every step that allocates device memory — a
+  /// GPU decode/intersect, the GPU leg of a split, an H2D migration upload,
+  /// a prefetch, a fused batch launch. A hit does NOT abandon the query;
+  /// the executor climbs a degradation ladder instead: evict device-cache
+  /// bytes -> unfuse the batch -> re-plan just the hit step to the CPU.
+  /// Every rung is charged on the timeline and counted in FaultCounters;
+  /// results stay bit-identical.
+  SiteConfig oom;
 
   /// Wasted device time charged for an abandoned GPU step (the kernel ran
   /// partway before the error surfaced).
   double gpu_fault_cost_us = 50.0;
+  /// Ladder rung 1: host-synchronous free of one evicted cache entry
+  /// (cudaFree blocks the stream until in-flight work retires).
+  double oom_evict_cost_us = 15.0;
+  /// Rung 1 frees at least this many device-cache bytes (LRU tail first)
+  /// before the allocation is retried.
+  std::uint64_t oom_evict_bytes = std::uint64_t{1} << 20;
+  /// Ladder rung 2: re-launching a fused batch member's kernels alone after
+  /// the shared launch's allocation failed.
+  double oom_unfuse_cost_us = 10.0;
+  /// Ladder rung 3: allocator stall before the step is abandoned and
+  /// re-planned host-side (nothing to evict, nothing to unfuse).
+  double oom_replan_cost_us = 25.0;
   /// Failed attempts a single DMA may accumulate before the link-level
   /// retry is assumed successful.
   std::uint32_t pcie_max_retries = 3;
@@ -90,7 +122,9 @@ struct FaultConfig {
 
   std::uint64_t seed = 1;
 
-  bool engine_faults_armed() const { return gpu.armed() || pcie.armed(); }
+  bool engine_faults_armed() const {
+    return gpu.armed() || pcie.armed() || oom.armed();
+  }
   bool any_armed() const {
     return engine_faults_armed() || crash.armed() || slow.armed() ||
            !outages.empty();
@@ -105,8 +139,22 @@ struct FaultCounters {
   // Engine-level (per query, summed upward).
   std::uint64_t gpu_faults = 0;   ///< GPU steps abandoned mid-query
   std::uint64_t pcie_errors = 0;  ///< failed DMA attempts (retried)
+  /// Split steps whose GPU leg was lost: the CPU leg's partial survived and
+  /// the high range was redone host-side (counted inside gpu_faults too).
+  std::uint64_t split_leg_faults = 0;
+  /// kPrefetch uploads killed by a device fault: dropped without entering
+  /// the cache; the plan continues unchanged (a prefetch is optional work).
+  std::uint64_t prefetch_faults = 0;
+  /// Device allocations that hit injected memory pressure (OOM site), and
+  /// the ladder rungs that resolved them (DESIGN.md §16).
+  std::uint64_t oom_faults = 0;
+  std::uint64_t oom_evictions = 0;       ///< cache entries freed by rung 1
+  std::uint64_t oom_evicted_bytes = 0;   ///< device-cache bytes freed
+  std::uint64_t oom_unfused = 0;         ///< batch memberships dissolved
+  std::uint64_t oom_degraded_steps = 0;  ///< steps re-planned to the CPU
   sim::Duration gpu_wasted;       ///< time charged to abandoned GPU steps
   sim::Duration pcie_retry_time;  ///< transfer time re-paid by retries
+  sim::Duration oom_recovery;     ///< ladder charges (evict/unfuse/stall)
 
   // Broker-level (per run).
   std::uint64_t replica_failures = 0;  ///< submits that found a replica down
@@ -125,8 +173,16 @@ struct FaultCounters {
   FaultCounters& operator+=(const FaultCounters& o) {
     gpu_faults += o.gpu_faults;
     pcie_errors += o.pcie_errors;
+    split_leg_faults += o.split_leg_faults;
+    prefetch_faults += o.prefetch_faults;
+    oom_faults += o.oom_faults;
+    oom_evictions += o.oom_evictions;
+    oom_evicted_bytes += o.oom_evicted_bytes;
+    oom_unfused += o.oom_unfused;
+    oom_degraded_steps += o.oom_degraded_steps;
     gpu_wasted += o.gpu_wasted;
     pcie_retry_time += o.pcie_retry_time;
+    oom_recovery += o.oom_recovery;
     replica_failures += o.replica_failures;
     failovers += o.failovers;
     slow_replicas += o.slow_replicas;
@@ -141,10 +197,10 @@ struct FaultCounters {
   }
 
   bool any() const {
-    return gpu_faults + pcie_errors + replica_failures + failovers +
-               slow_replicas + breaker_opens + breaker_short_circuits +
-               deadline_misses + shards_dropped + degraded_queries +
-               shed_queries !=
+    return gpu_faults + pcie_errors + prefetch_faults + oom_faults +
+               replica_failures + failovers + slow_replicas + breaker_opens +
+               breaker_short_circuits + deadline_misses + shards_dropped +
+               degraded_queries + shed_queries !=
            0;
   }
 };
@@ -154,7 +210,13 @@ struct FaultCounters {
 /// number of shards/executors and asked in any order.
 class FaultInjector {
  public:
-  explicit FaultInjector(FaultConfig cfg) : cfg_(std::move(cfg)) {}
+  explicit FaultInjector(FaultConfig cfg) : cfg_(std::move(cfg)) {
+    validate(cfg_.gpu);
+    validate(cfg_.pcie);
+    validate(cfg_.crash);
+    validate(cfg_.slow);
+    validate(cfg_.oom);
+  }
 
   const FaultConfig& config() const { return cfg_; }
 
@@ -182,6 +244,20 @@ class FaultInjector {
     return cfg_.gpu.probability > 0.0 &&
            coord01(cfg_.seed, kGpuSalt, scope, query, step) <
                cfg_.gpu.probability;
+  }
+
+  /// Does the device allocation behind plan step `step` of query `query`
+  /// hit injected memory pressure? Asked for every device-allocating step
+  /// (GPU decode/intersect, split GPU leg, H2D migration, prefetch, fused
+  /// batch launch). Independent of the gpu site: a different salt over the
+  /// same coordinates.
+  bool oom_fault(std::uint32_t scope, std::uint64_t query,
+                 std::uint64_t step) const {
+    if (!cfg_.oom.armed()) return false;
+    if (cfg_.oom.triggered(query, scope)) return true;
+    return cfg_.oom.probability > 0.0 &&
+           coord01(cfg_.seed, kOomSalt, scope, query, step) <
+               cfg_.oom.probability;
   }
 
   /// Does attempt `attempt` of DMA number `transfer` within query `query`
@@ -231,6 +307,13 @@ class FaultInjector {
   static constexpr std::uint64_t kPcieSalt = 0x504349455f455252ULL;
   static constexpr std::uint64_t kCrashSalt = 0x435241534857494eULL;
   static constexpr std::uint64_t kSlowSalt = 0x534c4f575f524550ULL;
+  static constexpr std::uint64_t kOomSalt = 0x4f4f4d5f50524553ULL;
+
+  static void validate(SiteConfig& s) {
+    assert(s.probability >= 0.0 && s.probability <= 1.0 &&
+           "fault site probability outside [0,1]");
+    s.probability = clamp01(s.probability);
+  }
 
   FaultConfig cfg_;
 };

@@ -126,6 +126,23 @@ void GpuExecutor::charge_fault(sim::Duration d, sim::Duration* stage,
   }
 }
 
+void GpuExecutor::oom_evict(core::QueryMetrics& m) {
+  assert(injector_ != nullptr);
+  std::uint64_t entries = 0;
+  const std::uint64_t freed =
+      cache_.evict_bytes(injector_->config().oom_evict_bytes, &entries);
+  m.faults.oom_evictions += entries;
+  m.faults.oom_evicted_bytes += freed;
+  m.cache.device_evictions += entries;
+  const sim::Duration d = sim::Duration::from_us(
+      injector_->config().oom_evict_cost_us * static_cast<double>(entries));
+  m.add_stage(d, &m.transfer);
+  m.faults.oom_recovery += d;
+  if (tl_ != nullptr) {
+    chain_ = tl_->record(copy_stream_, sim::Resource::kCpu, d, chain_);
+  }
+}
+
 void GpuExecutor::prefetch(index::TermId t, core::QueryMetrics& m) {
   // Planned against slightly stale state: re-check residency and in-flight
   // status at issue time, and quietly skip when the copy is pointless.

@@ -101,6 +101,14 @@ class GpuExecutor {
   void charge_fault(sim::Duration d, sim::Duration* stage,
                     core::QueryMetrics& m);
 
+  /// Rung 1 of the OOM degradation ladder (DESIGN.md §16): frees at least
+  /// `FaultConfig::oom_evict_bytes` from the device list cache's LRU tail,
+  /// charging one host-synchronous free per entry (serially into m.transfer
+  /// — it's PCIe/allocator machinery — and as a CPU op on the copy stream,
+  /// advancing the chain so the retried allocation waits the frees out).
+  /// Requires an armed injector; counts into m.faults and m.cache.
+  void oom_evict(core::QueryMetrics& m);
+
   /// Drops unconsumed prefetches (counting them into m) and releases
   /// per-query device state.
   void finish_query(core::QueryMetrics& m);

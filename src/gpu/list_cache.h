@@ -56,6 +56,15 @@ class DeviceListCache {
   /// corrupted it; DESIGN.md §11). Returns true when it was resident.
   bool erase(index::TermId t) { return cache_.erase(t); }
 
+  /// Frees at least `min_bytes` of device memory from the LRU tail (or
+  /// everything, if the cache is smaller) — rung 1 of the OOM degradation
+  /// ladder (DESIGN.md §16). Destroying the entries un-reserves the device
+  /// memory immediately. Returns bytes freed; `entries` gets the count.
+  std::uint64_t evict_bytes(std::uint64_t min_bytes,
+                            std::uint64_t* entries = nullptr) {
+    return cache_.evict_bytes(min_bytes, entries);
+  }
+
   std::uint64_t bytes() const { return cache_.bytes(); }
   std::uint64_t byte_budget() const { return cache_.byte_budget(); }
   std::size_t size() const { return cache_.size(); }

@@ -18,14 +18,14 @@ constexpr sim::Duration kFar = sim::Duration::from_ps(
 struct DeviceManager::Lane {
   Lane(const index::InvertedIndex& idx, const sim::HardwareSpec& hw,
        const TenancyOptions& opt, const core::Scheduler& sched,
-       const cpu::Bm25Scorer& scorer)
+       const cpu::Bm25Scorer& scorer, const fault::FaultInjector* injector)
       : gpu(idx, hw, opt.engine.gpu),
         host_cache(opt.engine.cpu.decoded_cache_bytes),
         svs(idx, hw.cpu,
             cpu::SvsOptions{opt.engine.cpu.skip_ratio,
                             opt.engine.cpu.ef_random_access},
             &host_cache),
-        exec(hw.cpu, &svs, &gpu, scorer),
+        exec(hw.cpu, &svs, &gpu, scorer, injector, opt.engine.fault_scope),
         planner(idx, sched, exec) {}
 
   gpu::GpuExecutor gpu;
@@ -51,11 +51,18 @@ DeviceManager::DeviceManager(const index::InvertedIndex& idx,
       opt_(opt),
       sched_(opt.engine.scheduler, hw),
       scorer_(idx, opt.engine.cpu.bm25),
+      injector_(opt.engine.faults),
       composer_(opt.batch) {
   if (opt_.max_concurrency == 0) opt_.max_concurrency = 1;
+  // Arm the shared injector only when a site is configured: lanes without
+  // one skip every fault branch, keeping the disarmed run bit-identical to
+  // a build without the injector.
+  const fault::FaultInjector* inj =
+      opt_.engine.faults.engine_faults_armed() ? &injector_ : nullptr;
   lanes_.reserve(opt_.max_concurrency);
   for (std::uint32_t i = 0; i < opt_.max_concurrency; ++i) {
-    lanes_.push_back(std::make_unique<Lane>(idx, hw_, opt_, sched_, scorer_));
+    lanes_.push_back(
+        std::make_unique<Lane>(idx, hw_, opt_, sched_, scorer_, inj));
   }
 }
 
@@ -89,6 +96,7 @@ void DeviceManager::admit(Lane& lane, const TenantQuery& tq,
 
 void DeviceManager::finish(Lane& lane, std::vector<TenantResult>& results) {
   lane.exec.finish_query(lane.res.metrics);
+  run_faults_ += lane.res.metrics.faults;
   const sim::Duration done = lane.release + lane.res.metrics.total;
   TenantResult& out = results[lane.slot];
   out.result = std::move(lane.res);
@@ -138,13 +146,26 @@ void DeviceManager::step(std::vector<TenantResult>& results) {
   for (const std::size_t i : members) {
     Lane& lane = *lanes_[i];
     lane.exec.set_batch(width, group);
-    const bool ok = lane.exec.run(*lane.next_step, lane.query, lane.res);
+    const core::StepStatus st =
+        lane.exec.run(*lane.next_step, lane.query, lane.res);
     lane.exec.set_batch(1, 0);
-    if (!ok) {
-      // Injected device fault (not armed by default under tenancy, but the
-      // path stays correct): pin the rest of the plan to the CPU and let
-      // the planner re-emit the abandoned step.
-      lane.planner.degrade_to_cpu(*lane.next_step);
+    // Injected-fault recovery (DESIGN.md §16), scoped to the hit lane: a
+    // fault inside a fused launch degrades only this query — co-batched
+    // members already ran (or will run) their own step unperturbed, and
+    // their ops on the shared timeline are untouched. An OOM that unfused
+    // inside run() only shrank *this* lane's launch accounting.
+    switch (st) {
+      case core::StepStatus::kOk:
+        break;
+      case core::StepStatus::kOkForceCpu:
+        lane.planner.force_cpu();
+        break;
+      case core::StepStatus::kFaultQuery:
+        lane.planner.degrade_to_cpu(*lane.next_step);
+        break;
+      case core::StepStatus::kFaultStep:
+        lane.planner.degrade_step_to_cpu(*lane.next_step);
+        break;
     }
     lane.next_step = lane.planner.next(lane.exec.intermediate_count(),
                                        lane.exec.location());
@@ -156,6 +177,7 @@ std::vector<TenantResult> DeviceManager::run(
     std::span<const TenantQuery> load, std::uint32_t max_in_system) {
   tl_.reset();
   finishes_.clear();
+  run_faults_ = fault::FaultCounters{};
   composer_ = BatchComposer(opt_.batch);
   for (auto& lane : lanes_) {
     lane->active = false;
@@ -180,6 +202,7 @@ std::vector<TenantResult> DeviceManager::run(
     if (max_in_system > 0 && in_system_at(load[i].arrival) >= max_in_system) {
       results[i].shed = true;
       ++results[i].result.metrics.faults.shed_queries;
+      ++run_faults_.shed_queries;
       return;
     }
     pending.push_back(i);

@@ -36,6 +36,7 @@
 #include "cpu/bm25.h"
 #include "cpu/decoded_cache.h"
 #include "cpu/svs_step.h"
+#include "fault/fault.h"
 #include "gpu/engine.h"
 #include "index/inverted_index.h"
 #include "sim/hardware_spec.h"
@@ -51,7 +52,12 @@ struct TenancyOptions {
   /// Cross-query kernel batching (tenancy/batch.h).
   BatchOptions batch;
   /// Per-lane engine configuration (scheduler policy, GPU options, CPU
-  /// options). Fault injection is not armed under tenancy.
+  /// options). Arming engine.faults arms the shared device's injector
+  /// (DESIGN.md §16): every lane draws from the same seeded coordinate
+  /// space keyed by (engine.fault_scope, query id, step index), so an armed
+  /// tenant run injects exactly the faults the same queries would draw
+  /// sequentially — a fault inside a fused batch degrades only the hit
+  /// query, and survivors' accounting on the shared timeline stays exact.
   core::HybridOptions engine;
 };
 
@@ -97,6 +103,12 @@ class DeviceManager {
   /// Cross-query batches composed by the last run().
   std::uint64_t batch_groups() const { return composer_.groups(); }
 
+  /// Engine-level fault counters aggregated across every query of the last
+  /// run(), shed rejections included — the per-query counters live in each
+  /// TenantResult's metrics; this is the device-wide rollup the service sim
+  /// and the chaos harness read.
+  const fault::FaultCounters& run_faults() const { return run_faults_; }
+
   const TenancyOptions& options() const { return opt_; }
 
  private:
@@ -113,8 +125,12 @@ class DeviceManager {
   TenancyOptions opt_;
   core::Scheduler sched_;
   cpu::Bm25Scorer scorer_;
+  /// Shared injector for all lanes (before lanes_: executors point at it).
+  /// Lanes receive it only when opt_.engine.faults arms an engine site.
+  fault::FaultInjector injector_;
   sim::Timeline tl_;
   BatchComposer composer_;
+  fault::FaultCounters run_faults_;  ///< rollup of the last run()
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::uint32_t active_ = 0;  ///< lanes with an in-flight query
   /// Completion times of finished queries in the current run() — the

@@ -95,6 +95,27 @@ class ByteLruCache {
     return &lru_.front().value;
   }
 
+  /// Evicts LRU-tail entries until at least `min_bytes` have been freed (or
+  /// the cache is empty) — the memory-pressure valve the GPU engine's OOM
+  /// degradation ladder pulls (DESIGN.md §16). Counts real evictions;
+  /// `entries`, when non-null, receives how many were dropped. Returns the
+  /// bytes actually freed.
+  std::uint64_t evict_bytes(std::uint64_t min_bytes,
+                            std::uint64_t* entries = nullptr) {
+    std::uint64_t freed = 0;
+    std::uint64_t n = 0;
+    while (freed < min_bytes && !lru_.empty()) {
+      freed += lru_.back().bytes;
+      bytes_ -= lru_.back().bytes;
+      map_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.evictions;
+      ++n;
+    }
+    if (entries != nullptr) *entries = n;
+    return freed;
+  }
+
   /// Drops one entry (fault invalidation — e.g. an ECC error retiring a
   /// cached device list). Not an eviction: the entry did not age out, so the
   /// eviction counter is untouched. Returns true when something was removed.

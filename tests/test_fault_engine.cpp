@@ -1,12 +1,17 @@
-// Engine-level fault handling (DESIGN.md §11): an injected GPU device fault
-// abandons the step, charges the wasted device time, and re-plans the rest
-// of the query on the CPU — with bit-identical results; an injected PCIe
-// error re-pays the transfer (bounded retry) and never corrupts data. And
-// the golden-parity invariant: an armed injector whose faults never fire
+// Engine-level fault handling (DESIGN.md §11/§16): an injected GPU device
+// fault abandons the step, charges the wasted device time, and re-plans the
+// rest of the query on the CPU — with bit-identical results; an injected
+// PCIe error re-pays the transfer (bounded retry) and never corrupts data;
+// injected device memory pressure climbs the OOM degradation ladder
+// (evict -> unfuse -> re-plan one step) without changing a bit. And the
+// golden-parity invariant: an armed injector whose faults never fire
 // perturbs nothing.
 #include <gtest/gtest.h>
 
+#include "core/executor.h"
 #include "core/hybrid_engine.h"
+#include "cpu/decoded_cache.h"
+#include "cpu/svs_step.h"
 #include "engine_test_util.h"
 
 using namespace griffin;
@@ -243,6 +248,288 @@ TEST(FaultEngine, FaultRunsAreDeterministic) {
     EXPECT_EQ(ra.metrics.faults.pcie_errors, rb.metrics.faults.pcie_errors);
     EXPECT_EQ(ra.metrics.faults.gpu_wasted, rb.metrics.faults.gpu_wasted);
     EXPECT_EQ(ra.trace.size(), rb.trace.size());
+  }
+}
+
+// ---- The OOM degradation ladder (DESIGN.md §16) -------------------------
+
+TEST(FaultEngine, OomEvictsDeviceCacheAndProceedsOnTheGpu) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.oom.triggers.push_back({/*query=*/1, /*scope=*/0});
+  core::HybridEngine faulty(idx, {}, opt);
+  core::HybridEngine clean(idx, {}, gpu_heavy_options());
+
+  // Warm the device list cache with an unaffected query so rung 1 has
+  // something to evict when the triggered query allocates.
+  core::Query warm;
+  warm.terms = {5, 15, 30};
+  warm.id = 0;
+  faulty.execute(warm);
+  clean.execute(warm);
+
+  core::Query q;
+  q.terms = {5, 15, 30};
+  q.id = 1;
+  const auto res = faulty.execute(q);
+  const auto ref = clean.execute(q);
+
+  EXPECT_GT(res.metrics.faults.oom_faults, 0u);
+  EXPECT_GT(res.metrics.faults.oom_evictions, 0u);
+  EXPECT_GT(res.metrics.faults.oom_evicted_bytes, 0u);
+  EXPECT_GT(res.metrics.faults.oom_recovery.ps(), 0);
+  EXPECT_EQ(res.metrics.faults.gpu_faults, 0u);
+  expect_stage_identity(res.metrics);
+
+  // Rungs 1/2 recover on the device — bit-identical answer, only timing
+  // and counters changed.
+  ASSERT_EQ(res.topk.size(), ref.topk.size());
+  for (std::size_t i = 0; i < ref.topk.size(); ++i) {
+    EXPECT_EQ(res.topk[i].doc, ref.topk[i].doc);
+    EXPECT_EQ(res.topk[i].score, ref.topk[i].score);
+  }
+}
+
+TEST(FaultEngine, OomLadderBottomsOutToSingleStepDegrade) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.gpu.list_cache = false;      // rung 1 has nothing to evict
+  opt.scheduler.prefetch = false;  // no optional uploads drawing OOM draws
+  opt.faults.oom.triggers.push_back({/*query=*/0, /*scope=*/0});
+
+  core::Query q;
+  q.terms = {5, 15, 30};
+  q.id = 0;
+  core::HybridEngine faulty(idx, {}, opt);
+  const auto res = faulty.execute(q);
+
+  // Sequential execution never batches, so the ladder goes straight to
+  // rung 3: the hit step is abandoned and re-planned host-side; later
+  // steps decide freely (and here hit the trigger again until the plan
+  // finishes on the CPU).
+  EXPECT_GT(res.metrics.faults.oom_faults, 0u);
+  EXPECT_GT(res.metrics.faults.oom_degraded_steps, 0u);
+  EXPECT_EQ(res.metrics.faults.oom_evictions, 0u);
+  EXPECT_EQ(res.metrics.faults.oom_unfused, 0u);
+  EXPECT_EQ(res.metrics.faults.gpu_faults, 0u);
+  EXPECT_EQ(res.metrics.faults.oom_recovery,
+            sim::Duration::from_us(opt.faults.oom_replan_cost_us) *
+                double(res.metrics.faults.oom_degraded_steps));
+  expect_stage_identity(res.metrics);
+
+  // Every abandoned step is a faulted trace record charging exactly the
+  // replan stall.
+  core::TraceSummary sum;
+  sum.add(res.trace);
+  EXPECT_EQ(sum.faulted_steps, res.metrics.faults.oom_degraded_steps);
+  for (const auto& r : res.trace) {
+    if (r.faulted) {
+      EXPECT_EQ(r.duration,
+                sim::Duration::from_us(opt.faults.oom_replan_cost_us));
+    }
+  }
+
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "oom-rung3");
+}
+
+TEST(FaultEngine, ProbabilisticOomPreservesCorrectnessOverALog) {
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();
+  opt.faults.oom.probability = 0.2;
+  opt.faults.seed = 303;
+
+  core::HybridEngine engine(idx, {}, opt);
+  core::HybridEngine twin(idx, {}, opt);
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 50;
+  qcfg.seed = 84;
+  const auto log = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+
+  fault::FaultCounters total;
+  for (const auto& q : log) {
+    const auto res = engine.execute(q);
+    const auto res2 = twin.execute(q);
+    EXPECT_EQ(res.metrics.total, res2.metrics.total);  // deterministic
+    total += res.metrics.faults;
+    expect_stage_identity(res.metrics);
+    const auto want = testutil::reference_topk(idx, q);
+    testutil::expect_same_topk(res.topk, want, "oom-probabilistic");
+  }
+  EXPECT_GT(total.oom_faults, 0u);
+  // Both recovery modes fired somewhere in the sweep: evictions while the
+  // warm cache had bytes, step degrades once it drained.
+  EXPECT_GT(total.oom_evictions + total.oom_degraded_steps, 0u);
+}
+
+// ---- Manual step harness: the fault paths the planner's policies cannot
+// ---- deterministically reach (device-resident split legs, lone prefetch).
+
+namespace {
+
+/// A full per-query execution stack without a planner, so tests can feed
+/// hand-built steps straight into StepExecutor::run.
+struct ManualExec {
+  explicit ManualExec(const index::InvertedIndex& idx,
+                      const fault::FaultConfig& faults)
+      : gpu(idx, sim::HardwareSpec{}, core::HybridOptions{}.gpu),
+        host_cache(core::HybridOptions{}.cpu.decoded_cache_bytes),
+        svs(idx, sim::HardwareSpec{}.cpu, cpu::SvsOptions{}, &host_cache),
+        scorer(idx, cpu::Bm25Params{}),
+        injector(faults),
+        exec(sim::HardwareSpec{}.cpu, &svs, &gpu, scorer, &injector, 0) {}
+
+  gpu::GpuExecutor gpu;
+  cpu::DecodedCache host_cache;
+  cpu::SvsStepper svs;
+  cpu::Bm25Scorer scorer;
+  fault::FaultInjector injector;
+  core::StepExecutor exec;
+};
+
+}  // namespace
+
+TEST(FaultEngine, SplitLegFaultOverDeviceResidentProbes) {
+  const auto& idx = testutil::small_index();
+  core::Query q;
+  q.terms = {5, 15, 30};
+  q.id = 0;
+
+  // A probabilistic schedule that misses the first (kGpu) step and hits the
+  // second (kSplit) one — found by scanning seeds, so the fault lands while
+  // the intermediate is device-resident.
+  fault::FaultConfig cfg;
+  cfg.gpu.probability = 0.5;
+  for (cfg.seed = 1;; ++cfg.seed) {
+    const fault::FaultInjector probe(cfg);
+    if (!probe.gpu_step_fault(0, q.id, 0) &&
+        probe.gpu_step_fault(0, q.id, 1)) {
+      break;
+    }
+  }
+
+  ManualExec me(idx, cfg);
+  core::QueryResult res;
+  me.exec.begin_query(q);
+
+  core::IntersectStep first;
+  first.term = idx.list(5).size() < idx.list(15).size() ? 15 : 5;
+  first.probe_term = first.term == 15 ? 5 : 15;
+  first.first_pair = true;
+  first.where = core::Placement::kGpu;
+  ASSERT_EQ(me.exec.run(first, q, res), core::StepStatus::kOk);
+  ASSERT_EQ(me.exec.location(), core::Placement::kGpu);
+  ASSERT_GT(me.exec.intermediate_count(), 0u);
+
+  core::IntersectStep split;
+  split.term = 30;
+  split.where = core::Placement::kSplit;
+  split.alpha = 0.5;
+  EXPECT_EQ(me.exec.run(split, q, res), core::StepStatus::kOkForceCpu);
+  // The step completed host-side despite losing its GPU leg: the whole
+  // device intermediate was drained and both ranges redone on the CPU.
+  EXPECT_EQ(me.exec.location(), core::Placement::kCpu);
+  EXPECT_EQ(res.metrics.faults.split_leg_faults, 1u);
+  EXPECT_EQ(res.metrics.faults.gpu_faults, 1u);
+  EXPECT_EQ(res.metrics.faults.gpu_wasted,
+            sim::Duration::from_us(cfg.gpu_fault_cost_us));
+
+  EXPECT_EQ(me.exec.run(core::RankStep{}, q, res), core::StepStatus::kOk);
+  me.exec.finish_query(res.metrics);
+  expect_stage_identity(res.metrics);
+
+  // The survived-leg record counts as a normal (leg-flagged) step, not an
+  // abandoned one.
+  core::TraceSummary sum;
+  sum.add(res.trace);
+  EXPECT_EQ(sum.leg_faulted_steps, 1u);
+  EXPECT_EQ(sum.faulted_steps, 0u);
+  EXPECT_EQ(sum.split_intersects, 1u);
+
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "split-leg-device");
+}
+
+TEST(FaultEngine, FaultedPrefetchIsDroppedWithoutPoisoningTheCache) {
+  const auto& idx = testutil::small_index();
+  core::Query q;
+  q.terms = {5, 15, 30};
+  q.id = 0;
+
+  fault::FaultConfig cfg;
+  cfg.gpu.triggers.push_back({/*query=*/0, /*scope=*/0});
+  ManualExec me(idx, cfg);
+  core::QueryResult res;
+  me.exec.begin_query(q);
+
+  // CPU steps never draw gpu-site coordinates; only the prefetch does.
+  core::IntersectStep first;
+  first.term = idx.list(5).size() < idx.list(15).size() ? 15 : 5;
+  first.probe_term = first.term == 15 ? 5 : 15;
+  first.first_pair = true;
+  first.where = core::Placement::kCpu;
+  ASSERT_EQ(me.exec.run(first, q, res), core::StepStatus::kOk);
+
+  ASSERT_EQ(me.exec.run(core::PrefetchStep{30}, q, res),
+            core::StepStatus::kOk);
+  EXPECT_EQ(res.metrics.faults.prefetch_faults, 1u);
+  EXPECT_FALSE(me.exec.prefetched(30));       // never went in flight
+  EXPECT_FALSE(me.exec.device_resident(30));  // never entered the cache
+  EXPECT_EQ(res.metrics.overlap.prefetch_issued, 0u);
+
+  // The drop is a zero-duration faulted record: nothing was charged.
+  ASSERT_EQ(res.trace.size(), 2u);
+  EXPECT_TRUE(res.trace[1].faulted);
+  EXPECT_EQ(res.trace[1].kind, core::StepKind::kPrefetch);
+  EXPECT_EQ(res.trace[1].duration, sim::Duration());
+
+  core::IntersectStep next;
+  next.term = 30;
+  next.where = core::Placement::kCpu;
+  ASSERT_EQ(me.exec.run(next, q, res), core::StepStatus::kOk);
+  ASSERT_EQ(me.exec.run(core::RankStep{}, q, res), core::StepStatus::kOk);
+  me.exec.finish_query(res.metrics);
+  expect_stage_identity(res.metrics);
+
+  const auto want = testutil::reference_topk(idx, q);
+  testutil::expect_same_topk(res.topk, want, "prefetch-drop");
+}
+
+TEST(FaultEngine, PcieErrorsDuringChunkedPrefetchUploadAreRetried) {
+  // Satellite contract: a PCIe error in the middle of a chunked,
+  // double-buffered prefetch upload re-pays the failed DMA (bounded retry)
+  // and the prefetch machinery's salvage accounting stays conserved.
+  const auto& idx = testutil::small_index();
+  core::HybridOptions opt = gpu_heavy_options();  // prefetch + chunking on
+  opt.faults.pcie.triggers.push_back({/*query=*/0, /*scope=*/0});
+
+  core::Query q;
+  q.terms = {5, 15, 30};
+  q.id = 0;
+  core::HybridEngine faulty(idx, {}, opt);
+  core::HybridEngine clean(idx, {}, gpu_heavy_options());
+  const auto res = faulty.execute(q);
+  const auto ref = clean.execute(q);
+
+  // The plan actually issued a prefetch, and every upload DMA (the
+  // prefetch's included) failed its first attempt.
+  EXPECT_GT(res.metrics.overlap.prefetch_issued, 0u);
+  EXPECT_GT(res.metrics.faults.pcie_errors, 0u);
+  EXPECT_GT(res.metrics.faults.pcie_retry_time.ps(), 0);
+  EXPECT_EQ(res.metrics.transfer,
+            ref.metrics.transfer + res.metrics.faults.pcie_retry_time);
+  // Salvage conservation: every issued prefetch is either consumed by a
+  // later device step or dropped (and counted) at query end.
+  EXPECT_EQ(res.metrics.overlap.prefetch_issued,
+            res.metrics.overlap.prefetch_used +
+                res.metrics.overlap.prefetch_dropped);
+  expect_stage_identity(res.metrics);
+
+  ASSERT_EQ(res.topk.size(), ref.topk.size());
+  for (std::size_t i = 0; i < ref.topk.size(); ++i) {
+    EXPECT_EQ(res.topk[i].doc, ref.topk[i].doc);
+    EXPECT_EQ(res.topk[i].score, ref.topk[i].score);
   }
 }
 

@@ -129,6 +129,57 @@ TEST(FaultInjector, CrashWindowsRecoverAtBoundaries) {
   EXPECT_GT(transitions, 0);  // crashes recover (and recur)
 }
 
+TEST(FaultInjector, OomSiteIsIndependentAndDeterministic) {
+  fault::FaultConfig cfg;
+  cfg.oom.probability = 0.3;
+  cfg.gpu.probability = 0.3;
+  cfg.seed = 9;
+  const fault::FaultInjector a(cfg);
+  const fault::FaultInjector b(cfg);
+
+  int differ = 0;
+  for (std::uint64_t q = 0; q < 300; ++q) {
+    // Deterministic across instances...
+    EXPECT_EQ(a.oom_fault(0, q, 1), b.oom_fault(0, q, 1));
+    // ...and drawn from its own salt: the gpu site at the same coordinate
+    // must not mirror it.
+    differ += a.oom_fault(0, q, 1) != a.gpu_step_fault(0, q, 1);
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, OomTriggersAndArming) {
+  fault::FaultConfig cfg;
+  EXPECT_FALSE(cfg.engine_faults_armed());
+  cfg.oom.triggers.push_back({/*query=*/4, /*scope=*/1});
+  EXPECT_TRUE(cfg.engine_faults_armed());  // the oom site arms the engine
+
+  const fault::FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.oom_fault(1, 4, 0));
+  EXPECT_TRUE(inj.oom_fault(1, 4, 7));   // every allocation of the pair
+  EXPECT_FALSE(inj.oom_fault(1, 5, 0));
+  EXPECT_FALSE(inj.oom_fault(0, 4, 0));  // other scope
+}
+
+TEST(FaultInjector, Clamp01IsTheValidationSemantics) {
+  EXPECT_EQ(fault::clamp01(-0.5), 0.0);
+  EXPECT_EQ(fault::clamp01(0.0), 0.0);
+  EXPECT_EQ(fault::clamp01(0.25), 0.25);
+  EXPECT_EQ(fault::clamp01(1.0), 1.0);
+  EXPECT_EQ(fault::clamp01(7.0), 1.0);
+}
+
+TEST(FaultInjectorDeathTest, OutOfRangeProbabilityAsserts) {
+  // >1 used to silently behave as always-fire while reporting the
+  // configured rate; the injector now refuses the config at construction.
+  fault::FaultConfig over;
+  over.gpu.probability = 1.5;
+  EXPECT_DEATH({ fault::FaultInjector inj(over); }, "probability");
+  fault::FaultConfig under;
+  under.oom.probability = -0.1;
+  EXPECT_DEATH({ fault::FaultInjector inj(under); }, "probability");
+}
+
 TEST(FaultCounters, AccumulateAndDetect) {
   fault::FaultCounters a;
   EXPECT_FALSE(a.any());

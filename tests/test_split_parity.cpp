@@ -133,6 +133,70 @@ TEST_P(SplitParityParam, SplitMatchesCpuAndGpuAcrossPresets) {
 INSTANTIATE_TEST_SUITE_P(AllCodecs, SplitParityParam,
                          ::testing::ValuesIn(kAllSchemes));
 
+// ---- A device fault on the GPU leg of a split (DESIGN.md §16): the CPU
+// ---- leg's partial survives, the lost range is redone host-side, and the
+// ---- answer stays bit-identical to the all-CPU reference — across every
+// ---- codec and every SIMD preset.
+
+class SplitLegFaultParam : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SplitLegFaultParam, LostGpuLegIsRedoneBitIdentically) {
+  const Scheme scheme = GetParam();
+  const auto& idx = index_for(scheme);
+  const auto queries =
+      random_queries(7000 + static_cast<std::uint64_t>(scheme), 6);
+
+  for (const auto& cpu_spec : all_specs()) {
+    sim::HardwareSpec hw;
+    hw.cpu = cpu_spec;
+
+    HybridOptions cpu_opt;
+    cpu_opt.scheduler.policy = SchedulerPolicy::kAlwaysCpu;
+    HybridEngine cpu_engine(idx, hw, cpu_opt);
+    // Every intersect splits half/half, and the scripted trigger faults the
+    // GPU leg of the first split (random_queries leaves every id 0, so the
+    // trigger covers each query; after the hit the remainder is CPU-pinned,
+    // so exactly one leg is ever lost per query).
+    HybridOptions faulty = split_options(0.5);
+    // No optional uploads: a staged prefetch would draw the same trigger
+    // and add dropped-prefetch records, muddying the one-leg-lost contract.
+    faulty.scheduler.prefetch = false;
+    faulty.faults.gpu.triggers.push_back({/*query=*/0, /*scope=*/0});
+    HybridEngine faulty_engine(idx, hw, faulty);
+
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const auto& q = queries[qi];
+      const std::string tag = std::string(codec::scheme_name(scheme)) + "/" +
+                              cpu_spec.vector.name + "/q" +
+                              std::to_string(qi) + "/leg-fault";
+      const QueryResult want = cpu_engine.execute(q);
+      const QueryResult got = faulty_engine.execute(q);
+      expect_bit_identical(got, want, tag);
+
+      // The recovery really ran: one split step lost its GPU leg (flagged on
+      // the trace, never as an abandoned step — the step completed), paid
+      // the wasted device time, and pinned the rest of the plan host-side.
+      EXPECT_EQ(got.metrics.faults.split_leg_faults, 1u) << tag;
+      EXPECT_EQ(got.metrics.faults.gpu_faults, 1u) << tag;
+      EXPECT_EQ(got.metrics.faults.gpu_wasted,
+                sim::Duration::from_us(faulty.faults.gpu_fault_cost_us))
+          << tag;
+      core::TraceSummary sum;
+      sum.add(got.trace);
+      EXPECT_EQ(sum.leg_faulted_steps, 1u) << tag;
+      EXPECT_EQ(sum.faulted_steps, 0u) << tag;
+      // Stage identity survives the fault accounting.
+      EXPECT_EQ(got.metrics.decode + got.metrics.intersect +
+                    got.metrics.transfer + got.metrics.rank,
+                got.metrics.total + got.metrics.overlap.saved)
+          << tag;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, SplitLegFaultParam,
+                         ::testing::ValuesIn(kAllSchemes));
+
 // ---- Split steps really execute as splits (the parity above would pass
 // ---- vacuously if kAlwaysSplit silently fell back to one processor).
 

@@ -258,6 +258,163 @@ TEST(Tenancy, EmptyQueriesAndEmptyLoadAreWellDefined) {
   EXPECT_FALSE(results[1].result.trace.empty());
 }
 
+// ---- Fault-aware tenancy (DESIGN.md §16): arming the shared device's
+// ---- injector perturbs timing and counters, never bits — and a fault
+// ---- inside a fused batch degrades only the hit query.
+
+TEST(TenancyFaults, ArmedButSilentTenancyIsBitIdenticalToDisarmed) {
+  // Arming wires a real injector into every lane; scripted faults that
+  // never fire must leave the whole run — results, per-query timing, batch
+  // composition — bit-identical to the disarmed device.
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(25, 47);
+  const auto load = dense_load(queries, 30.0);
+
+  tenancy::TenancyOptions plain;
+  plain.max_concurrency = 4;
+  tenancy::TenancyOptions armed = plain;
+  armed.engine.faults.gpu.triggers.push_back({/*query=*/999999, 0});
+  armed.engine.faults.oom.triggers.push_back({/*query=*/999999, 0});
+
+  tenancy::DeviceManager a(idx, {}, plain);
+  tenancy::DeviceManager b(idx, {}, armed);
+  const auto ra = a.run(load);
+  const auto rb = b.run(load);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].finish.ps(), rb[i].finish.ps()) << "query " << i;
+    EXPECT_EQ(ra[i].result.metrics.total.ps(),
+              rb[i].result.metrics.total.ps()) << "query " << i;
+    expect_bit_identical_topk(rb[i].result.topk, ra[i].result.topk, i);
+  }
+  EXPECT_FALSE(b.run_faults().any());
+  EXPECT_EQ(a.batch_groups(), b.batch_groups());
+}
+
+TEST(TenancyFaults, ArmedTenancyKeepsGoldenParityAndIsDeterministic) {
+  // Probabilistic gpu + oom faults across a batched multi-tenant run: every
+  // recovery path may fire, and every answer must still match the clean
+  // sequential engine bit for bit. Same seed, same load: same everything.
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(40, 53);
+  const auto load = dense_load(queries, 50.0);
+
+  core::HybridEngine seq(idx);
+  std::vector<core::QueryResult> want;
+  want.reserve(queries.size());
+  for (const auto& q : queries) want.push_back(seq.execute(q));
+
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 4;
+  opt.engine.faults.gpu.probability = 0.1;
+  opt.engine.faults.oom.probability = 0.1;
+  opt.engine.faults.seed = 99;
+  tenancy::DeviceManager dm(idx, {}, opt);
+  tenancy::DeviceManager twin(idx, {}, opt);
+  const auto got = dm.run(load);
+  const auto again = twin.run(load);
+
+  ASSERT_EQ(got.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_bit_identical_topk(got[i].result.topk, want[i].topk, i);
+    EXPECT_EQ(got[i].finish.ps(), again[i].finish.ps()) << "query " << i;
+    // Stage identity per query, faults included.
+    const auto& m = got[i].result.metrics;
+    EXPECT_EQ((m.decode + m.intersect + m.transfer + m.rank).ps(),
+              (m.total + m.overlap.saved).ps()) << "query " << i;
+  }
+  // The run actually injected something.
+  EXPECT_TRUE(dm.run_faults().any());
+  EXPECT_GT(dm.run_faults().gpu_faults + dm.run_faults().oom_faults, 0u);
+  EXPECT_EQ(dm.run_faults().gpu_faults, twin.run_faults().gpu_faults);
+  EXPECT_EQ(dm.run_faults().oom_faults, twin.run_faults().oom_faults);
+}
+
+TEST(TenancyFaults, RunFaultsIsTheExactPerQueryRollup) {
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(30, 59);
+  const auto load = dense_load(queries, 15.0);
+
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 4;
+  opt.engine.faults.gpu.probability = 0.15;
+  opt.engine.faults.oom.probability = 0.1;
+  opt.engine.faults.seed = 7;
+  tenancy::DeviceManager dm(idx, {}, opt);
+  // A tight admission bound so the shed path contributes too.
+  const auto results = dm.run(load, /*max_in_system=*/6);
+
+  fault::FaultCounters sum;
+  std::uint64_t shed = 0;
+  for (const auto& r : results) {
+    sum += r.result.metrics.faults;
+    shed += r.shed ? 1 : 0;
+  }
+  EXPECT_GT(shed, 0u);
+  const auto& roll = dm.run_faults();
+  EXPECT_EQ(roll.gpu_faults, sum.gpu_faults);
+  EXPECT_EQ(roll.pcie_errors, sum.pcie_errors);
+  EXPECT_EQ(roll.split_leg_faults, sum.split_leg_faults);
+  EXPECT_EQ(roll.prefetch_faults, sum.prefetch_faults);
+  EXPECT_EQ(roll.oom_faults, sum.oom_faults);
+  EXPECT_EQ(roll.oom_evictions, sum.oom_evictions);
+  EXPECT_EQ(roll.oom_unfused, sum.oom_unfused);
+  EXPECT_EQ(roll.oom_degraded_steps, sum.oom_degraded_steps);
+  EXPECT_EQ(roll.gpu_wasted.ps(), sum.gpu_wasted.ps());
+  EXPECT_EQ(roll.oom_recovery.ps(), sum.oom_recovery.ps());
+  EXPECT_EQ(roll.shed_queries, sum.shed_queries);
+  EXPECT_EQ(roll.shed_queries, shed);
+}
+
+TEST(TenancyFaults, OomInsideAFusedBatchUnfusesOnlyTheHitQuery) {
+  // Rung 2 of the ladder: the hit lane dissolves its batch membership and
+  // re-launches alone; co-batched queries keep their fused accounting and
+  // their bits. The device cache is disabled so rung 1 cannot absorb the
+  // pressure first.
+  const auto& idx = testutil::large_index();
+  const auto queries = tenant_queries(30, 9);  // seed 9: batching fires
+  const auto load = dense_load(queries, 10.0);
+  const std::uint64_t victim = queries[7].id;
+
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 6;
+  opt.batch.window = sim::Duration::from_us(200.0);
+  opt.engine.gpu.list_cache = false;
+  opt.engine.faults.oom.triggers.push_back(
+      {/*query=*/victim, /*scope=*/0});
+  tenancy::DeviceManager dm(idx, {}, opt);
+  const auto results = dm.run(load);
+
+  // The clean reference: same per-lane engine config, no faults.
+  tenancy::TenancyOptions clean = opt;
+  clean.engine.faults = fault::FaultConfig{};
+  tenancy::DeviceManager ref_dm(idx, {}, clean);
+  const auto ref = ref_dm.run(load);
+
+  ASSERT_EQ(results.size(), queries.size());
+  std::uint64_t victim_i = queries.size();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].id == victim) victim_i = i;
+    expect_bit_identical_topk(results[i].result.topk, ref[i].result.topk, i);
+    if (queries[i].id != victim) {
+      // Only the hit query pays: everyone else's counters stay clean.
+      EXPECT_FALSE(results[i].result.metrics.faults.any()) << "query " << i;
+    }
+  }
+  ASSERT_LT(victim_i, queries.size());
+  const auto& vf = results[victim_i].result.metrics.faults;
+  EXPECT_GT(vf.oom_faults, 0u);
+  EXPECT_EQ(vf.oom_evictions, 0u);  // nothing cached to evict
+  // The victim's pressure was absorbed by the ladder: unfused from a batch
+  // and/or re-planned host-side, and the whole ladder cost is on the clock.
+  EXPECT_GT(vf.oom_unfused + vf.oom_degraded_steps, 0u);
+  EXPECT_GT(vf.oom_recovery.ps(), 0);
+  EXPECT_EQ(dm.run_faults().oom_unfused, vf.oom_unfused);
+
+  // The batch machinery itself kept running for everyone else.
+  EXPECT_GT(dm.batch_groups(), 0u);
+}
+
 TEST(TenancyService, MultiTenantServiceLoopRunsAndSheds) {
   const auto& idx = testutil::small_index();
   workload::QueryLogConfig qcfg;
@@ -296,4 +453,55 @@ TEST(TenancyService, MultiTenantServiceLoopRunsAndSheds) {
   const auto again = service::run_service(dm, queries, cfg);
   EXPECT_EQ(again.faults.shed_queries, bounded.faults.shed_queries);
   EXPECT_DOUBLE_EQ(again.response_ms.mean(), bounded.response_ms.mean());
+}
+
+TEST(TenancyService, ServiceFaultsAggregateTheArmedDeviceExactly) {
+  // End-to-end counter plumbing: engine-level faults injected inside the
+  // multi-tenant device surface in ServiceResult::faults — and the service
+  // view equals the device's own rollup plus nothing.
+  const auto& idx = testutil::small_index();
+  workload::QueryLogConfig qcfg;
+  qcfg.num_queries = 100;
+  qcfg.seed = 43;
+  const auto queries = workload::generate_query_log(
+      qcfg, static_cast<std::uint32_t>(idx.num_terms()));
+
+  tenancy::TenancyOptions opt;
+  opt.max_concurrency = 4;
+  opt.engine.scheduler.policy = core::SchedulerPolicy::kAlwaysGpu;
+  opt.engine.faults.gpu.probability = 0.1;
+  opt.engine.faults.oom.probability = 0.05;
+  opt.engine.faults.seed = 17;
+  tenancy::DeviceManager dm(idx, {}, opt);
+
+  service::ServiceConfig cfg;
+  cfg.arrival_qps = 20000.0;
+  cfg.max_queue_depth = 8;  // shed under pressure, counted alongside
+  const auto out = service::run_service(dm, queries, cfg);
+
+  EXPECT_TRUE(out.faults.any());
+  EXPECT_GT(out.faults.gpu_faults + out.faults.oom_faults, 0u);
+  const auto& roll = dm.run_faults();
+  EXPECT_EQ(out.faults.gpu_faults, roll.gpu_faults);
+  EXPECT_EQ(out.faults.pcie_errors, roll.pcie_errors);
+  EXPECT_EQ(out.faults.oom_faults, roll.oom_faults);
+  EXPECT_EQ(out.faults.oom_degraded_steps, roll.oom_degraded_steps);
+  EXPECT_EQ(out.faults.oom_evictions, roll.oom_evictions);
+  EXPECT_EQ(out.faults.shed_queries, roll.shed_queries);
+  EXPECT_EQ(out.faults.gpu_wasted.ps(), roll.gpu_wasted.ps());
+  EXPECT_EQ(out.faults.oom_recovery.ps(), roll.oom_recovery.ps());
+
+  // Shed + answered conserves the offered load.
+  EXPECT_EQ(out.response_ms.count() + out.faults.shed_queries,
+            queries.size());
+
+  // And the armed service loop is deterministic end to end: a second device
+  // built from the same options replays the identical run. (Re-running the
+  // *same* device differs legitimately — its lane caches stay warm.)
+  tenancy::DeviceManager dm2(idx, {}, opt);
+  const auto out2 = service::run_service(dm2, queries, cfg);
+  EXPECT_EQ(out2.faults.gpu_faults, out.faults.gpu_faults);
+  EXPECT_EQ(out2.faults.oom_faults, out.faults.oom_faults);
+  EXPECT_EQ(out2.faults.shed_queries, out.faults.shed_queries);
+  EXPECT_DOUBLE_EQ(out2.response_ms.mean(), out.response_ms.mean());
 }
